@@ -1,0 +1,360 @@
+package wsnbcast_test
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation, plus the ablations from DESIGN.md and
+// engine microbenchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The table benchmarks regenerate the full artifact (including the
+// 512-source sweeps for Tables 3-5), so one iteration is the cost of
+// reproducing that table from scratch.
+
+import (
+	"strings"
+	"testing"
+
+	"wsnbcast"
+	"wsnbcast/internal/analysis"
+	"wsnbcast/internal/converge"
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/experiments"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/pipeline"
+	"wsnbcast/internal/scenario"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/verify"
+)
+
+// --- Tables -----------------------------------------------------------
+
+func BenchmarkTable1OptimalETR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.Table1(); len(tbl.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable2Ideal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.Table2(experiments.Config{}); len(tbl.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable3BestCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4WorstCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5MaxDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures ----------------------------------------------------------
+
+func benchFigure(b *testing.B, n int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure(n, experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigTopologies(b *testing.B) { // Figs. 1-4
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 4; n++ {
+			if _, err := experiments.Figure(n, experiments.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig5Mesh4Broadcast(b *testing.B) { benchFigure(b, 5) }
+func BenchmarkFig6ETRComparison(b *testing.B)  { benchFigure(b, 6) }
+func BenchmarkFig7Mesh8Broadcast(b *testing.B) { benchFigure(b, 7) }
+func BenchmarkFig8Mesh3Broadcast(b *testing.B) { benchFigure(b, 8) }
+func BenchmarkFig9ZRelayPattern(b *testing.B)  { benchFigure(b, 9) }
+
+// --- Ablations --------------------------------------------------------
+
+func BenchmarkAblationDelayVsRetransmit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDelayVsRetransmit(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFlooding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFlooding(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPerPlane3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPerPlane3D(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMesh8Axis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMesh8Axis(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Engine microbenchmarks -------------------------------------------
+
+// One canonical broadcast per topology: the simulator's unit of work.
+func BenchmarkBroadcastCanonical(b *testing.B) {
+	for _, k := range grid.Kinds() {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			topo := grid.Canonical(k)
+			p := core.ForTopology(k)
+			m, n, l := topo.Size()
+			src := grid.C3((m+1)/2, (n+1)/2, (l+1)/2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(topo, p, src, sim.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.FullyReached() {
+					b.Fatal("not reached")
+				}
+			}
+		})
+	}
+}
+
+// A full 512-source sweep (the building block of Tables 3-5).
+func BenchmarkSweepCanonical2D4(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Sweep(topo, core.NewMesh4Protocol(), sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Flooding is the engine's stress case (every node transmits, heavy
+// collision handling and planner repairs).
+func BenchmarkFloodingStress(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(topo, core.NewFlooding(), grid.C2(1, 1), sim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.FullyReached() {
+			b.Fatal("not reached")
+		}
+	}
+}
+
+// Scaling: broadcast cost across mesh sizes.
+func BenchmarkBroadcastScaling(b *testing.B) {
+	for _, size := range []int{16, 32, 64, 128} {
+		size := size
+		b.Run(grid.Mesh2D4.String()+"/"+itoa(size), func(b *testing.B) {
+			topo := grid.NewMesh2D4(size, size)
+			p := core.NewMesh4Protocol()
+			src := grid.C2(size/2, size/2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(topo, p, src, sim.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// The facade path end to end (what a downstream user calls).
+func BenchmarkFacadeBroadcast(b *testing.B) {
+	topo := wsnbcast.CanonicalTopology(wsnbcast.Mesh2D4)
+	p := wsnbcast.PaperProtocol(wsnbcast.Mesh2D4)
+	for i := 0; i < b.N; i++ {
+		if _, err := wsnbcast.Broadcast(topo, p, wsnbcast.At(16, 8), wsnbcast.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extensions ---------------------------------------------------------
+
+func BenchmarkExtensionRegularVsRandom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionRegularVsRandom(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionPipelining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionPipelining(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionRotation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionRotation(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Pipelined dissemination as a microbenchmark: 10 packets through the
+// canonical 2D-4 mesh at the safe interval.
+func BenchmarkPipeline10Packets(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	src := grid.C2(16, 8)
+	snap, _, err := sim.Snapshot(topo, core.NewMesh4Protocol(), src, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := pipeline.Run(topo, snap, src, pipeline.Config{Packets: 10, Interval: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Delivered {
+			b.Fatal("not delivered")
+		}
+	}
+}
+
+// Structural verification across all sources (a pre-deployment check).
+func BenchmarkVerifyAllSources(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	p := core.NewMesh4Protocol()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.CheckAllSources(topo, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkExtensionRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionRobustness(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionScaling(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionMonitoring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionMonitoring(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Convergecast on the canonical mesh.
+func BenchmarkConvergecast(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := converge.Run(topo, grid.C2(16, 8), converge.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Tx < 511 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// A full declarative scenario end to end.
+func BenchmarkScenarioRun(b *testing.B) {
+	s, err := scenario.Load(strings.NewReader(`{
+		"topology": {"kind": "2d4", "m": 32, "n": 16},
+		"sources": [{"x": 16, "y": 8}],
+		"pipeline": {"packets": 5},
+		"budget_j": 1.0,
+		"convergecast": true
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionIdleListening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionIdleListening(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGossip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGossip(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

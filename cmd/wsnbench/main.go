@@ -1,0 +1,133 @@
+// Command wsnbench regenerates the paper's evaluation: Tables 1-5 of
+// Section 4 plus the ablation tables for the design choices the paper
+// argues in prose. Every table prints the measured values next to the
+// values the paper reports.
+//
+// Usage:
+//
+//	wsnbench             # all tables, ablations and extensions
+//	wsnbench -table 3    # just Table 3
+//	wsnbench -ablations  # just the ablations (A1-A4)
+//	wsnbench -extensions # just the extensions (E1-E3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsnbcast/internal/experiments"
+	"wsnbcast/internal/table"
+)
+
+func main() {
+	tableN := flag.Int("table", 0, "print only table N (1-5); 0 means all")
+	ablations := flag.Bool("ablations", false, "print only the ablation tables")
+	extensions := flag.Bool("extensions", false, "print only the extension tables (E1-E7)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown instead of ASCII boxes")
+	flag.Parse()
+
+	if err := run(*tableN, *ablations, *extensions, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tableN int, ablationsOnly, extensionsOnly, markdown bool) error {
+	cfg := experiments.Config{}
+	emit := func(t *table.Table) error {
+		if markdown {
+			if _, err := fmt.Print(t.Markdown()); err != nil {
+				return err
+			}
+			fmt.Println()
+			return nil
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if ablationsOnly {
+		tabs, err := experiments.AllAblations(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if extensionsOnly {
+		tabs, err := experiments.AllExtensions(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch tableN {
+	case 0:
+		tabs, err := experiments.AllTables(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		abl, err := experiments.AllAblations(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range abl {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		ext, err := experiments.AllExtensions(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range ext {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case 1:
+		return emit(experiments.Table1())
+	case 2:
+		return emit(experiments.Table2(cfg))
+	case 3:
+		t, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case 4:
+		t, err := experiments.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case 5:
+		t, err := experiments.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	default:
+		return fmt.Errorf("no table %d (the paper has tables 1-5)", tableN)
+	}
+}

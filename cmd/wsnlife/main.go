@@ -1,0 +1,87 @@
+// Command wsnlife estimates network lifetime: how many broadcasts a
+// per-node battery budget sustains under each topology's protocol,
+// the per-node energy distribution, and the gain from rotating the
+// broadcast source.
+//
+// Usage:
+//
+//	wsnlife                     # canonical meshes, center source, 1 J budget
+//	wsnlife -budget 2.5         # custom battery budget (Joules)
+//	wsnlife -topo 2d4 -m 20 -n 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wsnbcast/internal/analysis"
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/table"
+)
+
+func main() {
+	topoName := flag.String("topo", "", "topology (2d3, 2d4, 2d8, 3d6); empty means all four")
+	m := flag.Int("m", 0, "mesh width (0 = canonical)")
+	n := flag.Int("n", 0, "mesh height")
+	l := flag.Int("l", 0, "mesh depth (3d6)")
+	budget := flag.Float64("budget", 1.0, "per-node battery budget in Joules")
+	flag.Parse()
+
+	if err := run(*topoName, *m, *n, *l, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnlife:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName string, m, n, l int, budget float64) error {
+	var kinds []grid.Kind
+	switch strings.ToLower(topoName) {
+	case "":
+		kinds = grid.Kinds()
+	case "2d3":
+		kinds = []grid.Kind{grid.Mesh2D3}
+	case "2d4":
+		kinds = []grid.Kind{grid.Mesh2D4}
+	case "2d8":
+		kinds = []grid.Kind{grid.Mesh2D8}
+	case "3d6":
+		kinds = []grid.Kind{grid.Mesh3D6}
+	default:
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+	t := &table.Table{
+		Title: fmt.Sprintf("Network lifetime on a %.2f J per-node budget (center source)", budget),
+		Headers: []string{"Topology", "Max node J/bcast", "Mean node J/bcast",
+			"Imbalance", "Rounds (fixed)", "Rounds (rotated)", "Gain"},
+	}
+	for _, k := range kinds {
+		topo := grid.Canonical(k)
+		if m > 0 && n > 0 {
+			depth := 1
+			if k == grid.Mesh3D6 && l > 0 {
+				depth = l
+			}
+			topo = grid.New(k, m, n, depth)
+		}
+		mm, nn, ll := topo.Size()
+		center := grid.C3((mm+1)/2, (nn+1)/2, (ll+1)/2)
+		p := core.ForTopology(k)
+		life, err := analysis.Lifetime(topo, p, center, sim.Config{}, budget)
+		if err != nil {
+			return err
+		}
+		rot, err := analysis.CompareRotation(topo, p, center, sim.Config{}, budget, 1<<22)
+		if err != nil {
+			return err
+		}
+		t.AddRow(k.String(),
+			table.FormatJ(life.MaxNodeEnergyJ), table.FormatJ(life.MeanNodeEnergyJ),
+			fmt.Sprintf("%.1fx", life.ImbalanceRatio),
+			rot.FixedRounds, rot.RotatedRounds, fmt.Sprintf("%.2fx", rot.Gain))
+	}
+	return t.Render(os.Stdout)
+}

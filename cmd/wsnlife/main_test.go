@@ -1,0 +1,47 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- f()
+		w.Close()
+	}()
+	out, readErr := io.ReadAll(r)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out), <-errCh
+}
+
+func TestLifetimeTableSmall(t *testing.T) {
+	out, err := capture(t, func() error { return run("2d4", 10, 8, 0, 0.5) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0.50 J", "2D-4", "Rounds (rotated)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLifetimeBadTopo(t *testing.T) {
+	if _, err := capture(t, func() error { return run("hex", 0, 0, 0, 1) }); err == nil {
+		t.Error("bad topology accepted")
+	}
+}

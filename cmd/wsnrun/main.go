@@ -1,0 +1,65 @@
+// Command wsnrun executes a declarative JSON scenario and prints a
+// JSON report: topology, protocol, sources, failures, pipelining,
+// lifetime budget and convergecast, all in one document.
+//
+// Usage:
+//
+//	wsnrun scenario.json     # one scenario object, or a JSON array of them
+//	wsnrun -                 # read from stdin; arrays run in parallel
+//
+// Example scenario:
+//
+//	{
+//	  "name": "field-study",
+//	  "topology": {"kind": "2d4", "m": 32, "n": 16},
+//	  "sources": [{"x": 16, "y": 8}],
+//	  "pipeline": {"packets": 10},
+//	  "budget_j": 2.0,
+//	  "convergecast": true
+//	}
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"wsnbcast/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: wsnrun <scenario.json | ->")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, stdin io.Reader, stdout io.Writer) error {
+	var in io.Reader
+	if path == "-" {
+		in = stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	scenarios, err := scenario.LoadAll(in)
+	if err != nil {
+		return err
+	}
+	reports, err := scenario.RunAll(scenarios)
+	if err != nil {
+		return err
+	}
+	if len(reports) == 1 {
+		return reports[0].Write(stdout)
+	}
+	return scenario.WriteAll(stdout, reports)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const doc = `{
+  "name": "t",
+  "topology": {"kind": "2d4", "m": 8, "n": 6},
+  "sources": [{"x": 4, "y": 3}]
+}`
+
+func TestRunFromStdin(t *testing.T) {
+	var out strings.Builder
+	if err := run("-", strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"reached": 48`) {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(p, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"name": "t"`) {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run("/no/such/file.json", nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunBadScenario(t *testing.T) {
+	var out strings.Builder
+	if err := run("-", strings.NewReader(`{"topology":{"kind":"hex","m":2,"n":2}}`), &out); err == nil {
+		t.Error("bad scenario accepted")
+	}
+}

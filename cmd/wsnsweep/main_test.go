@@ -1,0 +1,81 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"wsnbcast/internal/grid"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- f()
+		w.Close()
+	}()
+	out, readErr := io.ReadAll(r)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out), <-errCh
+}
+
+func TestSweepCSV(t *testing.T) {
+	out, err := capture(t, func() error { return run("2d4", "paper", 6, 4, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+24 {
+		t.Fatalf("line count = %d, want header + 24 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "topology,protocol,src_x") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		fields := strings.Split(l, ",")
+		if len(fields) != 14 {
+			t.Fatalf("row %q has %d fields", l, len(fields))
+		}
+		if fields[12] != fields[13] {
+			t.Errorf("row %q: reached != total", l)
+		}
+	}
+}
+
+func TestSweepFloodingProto(t *testing.T) {
+	out, err := capture(t, func() error { return run("2d8", "flooding-jitter", 5, 4, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "flooding-jitter") {
+		t.Error("protocol column wrong")
+	}
+}
+
+func TestKindsAndProtocolParsing(t *testing.T) {
+	ks, err := kinds("")
+	if err != nil || len(ks) != 4 {
+		t.Errorf("kinds('') = %v, %v", ks, err)
+	}
+	if _, err := kinds("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := protocol("bogus", grid.Mesh2D4); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+	p, err := protocol("", grid.Mesh2D8)
+	if err != nil || p.Name() != "paper-2d8" {
+		t.Errorf("default protocol = %v, %v", p, err)
+	}
+}

@@ -1,0 +1,106 @@
+// Command wsnverify statically checks a broadcast protocol's relay
+// structure on a mesh before any simulation: domination (every node
+// within one hop of a relay), relay connectivity to the source, and
+// well-formed delays/offsets. Exit status 1 when verification fails.
+//
+// Usage:
+//
+//	wsnverify                          # all four paper protocols, canonical meshes, all sources
+//	wsnverify -topo 2d8 -m 20 -n 12    # one topology/size
+//	wsnverify -sx 3 -sy 4              # a single source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/verify"
+)
+
+func main() {
+	topoName := flag.String("topo", "", "topology (2d3, 2d4, 2d8, 3d6); empty means all four")
+	m := flag.Int("m", 0, "mesh width (0 = canonical)")
+	n := flag.Int("n", 0, "mesh height")
+	l := flag.Int("l", 0, "mesh depth (3d6)")
+	sx := flag.Int("sx", 0, "source x (0 = all sources)")
+	sy := flag.Int("sy", 0, "source y")
+	sz := flag.Int("sz", 1, "source z (3d6)")
+	flag.Parse()
+
+	ok, err := run(*topoName, *m, *n, *l, *sx, *sy, *sz)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsnverify:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(topoName string, m, n, l, sx, sy, sz int) (bool, error) {
+	var kinds []grid.Kind
+	switch strings.ToLower(topoName) {
+	case "":
+		kinds = grid.Kinds()
+	case "2d3":
+		kinds = []grid.Kind{grid.Mesh2D3}
+	case "2d4":
+		kinds = []grid.Kind{grid.Mesh2D4}
+	case "2d8":
+		kinds = []grid.Kind{grid.Mesh2D8}
+	case "3d6":
+		kinds = []grid.Kind{grid.Mesh3D6}
+	default:
+		return false, fmt.Errorf("unknown topology %q", topoName)
+	}
+	allOK := true
+	for _, k := range kinds {
+		topo := grid.Canonical(k)
+		if m > 0 && n > 0 {
+			depth := 1
+			if k == grid.Mesh3D6 && l > 0 {
+				depth = l
+			}
+			topo = grid.New(k, m, n, depth)
+		}
+		p := core.ForTopology(k)
+		var rep verify.Report
+		var err error
+		if sx > 0 && sy > 0 {
+			rep, err = verify.Check(topo, p, grid.C3(sx, sy, sz))
+		} else {
+			rep, err = verify.CheckAllSources(topo, p)
+		}
+		if err != nil {
+			return false, err
+		}
+		mm, nn, ll := topo.Size()
+		where := fmt.Sprintf("%dx%d", mm, nn)
+		if ll > 1 {
+			where = fmt.Sprintf("%dx%dx%d", mm, nn, ll)
+		}
+		if rep.OK() {
+			fmt.Printf("OK   %-4s %-9s relays=%d (last checked source %s)\n",
+				k, where, rep.Relays, rep.Source)
+			for _, issue := range rep.Issues {
+				fmt.Printf("     warning: %s\n", issue)
+			}
+			continue
+		}
+		allOK = false
+		fmt.Printf("FAIL %-4s %-9s source %s: %d fatal issues\n",
+			k, where, rep.Source, len(rep.Fatal()))
+		for i, issue := range rep.Fatal() {
+			if i == 8 {
+				fmt.Printf("     ... and %d more\n", len(rep.Fatal())-8)
+				break
+			}
+			fmt.Printf("     %s\n", issue)
+		}
+	}
+	return allOK, nil
+}

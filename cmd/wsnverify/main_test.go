@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() (bool, error)) (string, bool, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	type res struct {
+		ok  bool
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		ok, err := f()
+		ch <- res{ok, err}
+		w.Close()
+	}()
+	out, readErr := io.ReadAll(r)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	got := <-ch
+	return string(out), got.ok, got.err
+}
+
+func TestVerifyAllCanonical(t *testing.T) {
+	out, ok, err := capture(t, func() (bool, error) { return run("", 0, 0, 0, 0, 0, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("canonical verification failed:\n%s", out)
+	}
+	if strings.Count(out, "OK") != 4 {
+		t.Errorf("expected 4 OK lines:\n%s", out)
+	}
+}
+
+func TestVerifySingleSource(t *testing.T) {
+	out, ok, err := capture(t, func() (bool, error) { return run("2d4", 10, 8, 0, 5, 4, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !strings.Contains(out, "(5,4)") {
+		t.Errorf("single-source verify:\n%s", out)
+	}
+}
+
+func TestVerifyBadTopo(t *testing.T) {
+	if _, _, err := capture(t, func() (bool, error) { return run("hex", 0, 0, 0, 0, 0, 1) }); err == nil {
+		t.Error("bad topology accepted")
+	}
+}

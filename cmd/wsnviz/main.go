@@ -1,0 +1,130 @@
+// Command wsnviz renders the paper's figures as ASCII: the four
+// topologies (Figs. 1-4), the example broadcasts with relay maps and
+// transmission sequences (Figs. 5, 7, 8), the ETR comparison (Fig. 6)
+// and the z-relay lattice (Fig. 9). It can also visualize an arbitrary
+// broadcast.
+//
+// Usage:
+//
+//	wsnviz -fig 5                  # one of the paper's figures (1-9)
+//	wsnviz                         # all figures
+//	wsnviz -topo 2d8 -m 20 -n 12 -sx 3 -sy 3   # custom broadcast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/experiments"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/render"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/tracelog"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render paper figure N (1-9); 0 with no -topo means all")
+	topoName := flag.String("topo", "", "custom run: topology (2d3, 2d4, 2d8, 3d6)")
+	m := flag.Int("m", 16, "mesh width")
+	n := flag.Int("n", 16, "mesh height")
+	l := flag.Int("l", 8, "mesh depth (3d6 only)")
+	sx := flag.Int("sx", 1, "source x")
+	sy := flag.Int("sy", 1, "source y")
+	sz := flag.Int("sz", 1, "source z (3d6 only)")
+	heat := flag.Bool("heat", false, "custom run: render the per-node energy heatmap too")
+	tracePath := flag.String("trace", "", "custom run: dump the event trace as JSONL to this file")
+	svgPath := flag.String("svg", "", "custom run: write the relay map as SVG to this file")
+	flag.Parse()
+
+	if err := run(*fig, *topoName, *m, *n, *l, *sx, *sy, *sz, *heat, *tracePath, *svgPath); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, topoName string, m, n, l, sx, sy, sz int, heat bool, tracePath, svgPath string) error {
+	if topoName != "" {
+		return custom(topoName, m, n, l, sx, sy, sz, heat, tracePath, svgPath)
+	}
+	if fig != 0 {
+		out, err := experiments.Figure(fig, experiments.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	for i := 1; i <= 9; i++ {
+		fmt.Printf("=== Figure %d ===\n", i)
+		out, err := experiments.Figure(i, experiments.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+	return nil
+}
+
+func parseKind(name string) (grid.Kind, error) {
+	switch strings.ToLower(name) {
+	case "2d3":
+		return grid.Mesh2D3, nil
+	case "2d4":
+		return grid.Mesh2D4, nil
+	case "2d8":
+		return grid.Mesh2D8, nil
+	case "3d6":
+		return grid.Mesh3D6, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q (want 2d3, 2d4, 2d8 or 3d6)", name)
+	}
+}
+
+func custom(topoName string, m, n, l, sx, sy, sz int, heat bool, tracePath, svgPath string) error {
+	k, err := parseKind(topoName)
+	if err != nil {
+		return err
+	}
+	topo := grid.New(k, m, n, l)
+	src := grid.C3(sx, sy, sz)
+	if k != grid.Mesh3D6 {
+		src = grid.C2(sx, sy)
+	}
+	cfg := sim.Config{}
+	var traceFile *os.File
+	var traceWriter *tracelog.Writer
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		traceWriter = tracelog.NewWriter(traceFile)
+		cfg.Trace = traceWriter.Sink()
+	}
+	r, err := sim.Run(topo, core.ForTopology(k), src, cfg)
+	if err != nil {
+		return err
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Print(render.BroadcastMap(topo, r, src.Z))
+	fmt.Print(render.SequenceMap(topo, r, src.Z))
+	if heat {
+		fmt.Print(render.EnergyHeatmap(topo, r, src.Z))
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(render.BroadcastSVG(topo, r, src.Z)), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Println(render.Summary(r))
+	return nil
+}

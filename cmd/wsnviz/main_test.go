@@ -1,0 +1,138 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/tracelog"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- f()
+		w.Close()
+	}()
+	out, readErr := io.ReadAll(r)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out), <-errCh
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	out, err := capture(t, func() error { return run(6, "", 0, 0, 0, 0, 0, 0, false, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "5/8") {
+		t.Errorf("fig 6 output:\n%s", out)
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, "", 0, 0, 0, 0, 0, 0, false, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		if !strings.Contains(out, "=== Figure") {
+			t.Fatal("figure headers missing")
+		}
+	}
+	if strings.Count(out, "=== Figure") != 9 {
+		t.Errorf("figure count = %d", strings.Count(out, "=== Figure"))
+	}
+}
+
+func TestRunCustom(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, "2d4", 10, 8, 1, 5, 4, 1, true, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"broadcast from (5,4)", "heatmap", "reachability=100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCustom3D(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, "3d6", 5, 5, 3, 3, 3, 2, false, "", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(3,3,2)") {
+		t.Errorf("3D source missing:\n%s", out)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]grid.Kind{
+		"2d3": grid.Mesh2D3, "2D4": grid.Mesh2D4, "2d8": grid.Mesh2D8, "3D6": grid.Mesh3D6,
+	} {
+		got, err := parseKind(name)
+		if err != nil || got != want {
+			t.Errorf("parseKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseKind("hex"); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestRunCustomTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	_, err := capture(t, func() error { return run(0, "2d4", 8, 6, 1, 4, 3, 1, false, path, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := tracelog.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := tracelog.Check(events, grid.C2(4, 3)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunCustomSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "map.svg")
+	_, err := capture(t, func() error { return run(0, "2d4", 8, 6, 1, 4, 3, 1, false, "", path) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG file")
+	}
+}
+
+func TestRunBadFigure(t *testing.T) {
+	if _, err := capture(t, func() error { return run(12, "", 0, 0, 0, 0, 0, 0, false, "", "") }); err == nil {
+		t.Error("figure 12 accepted")
+	}
+}

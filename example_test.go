@@ -1,0 +1,67 @@
+package wsnbcast_test
+
+import (
+	"fmt"
+
+	"wsnbcast"
+)
+
+// The one-call path: broadcast on the paper's canonical mesh and read
+// the Section 4 metrics.
+func ExampleBroadcast() {
+	topo := wsnbcast.CanonicalTopology(wsnbcast.Mesh2D4)
+	res, _ := wsnbcast.Broadcast(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4),
+		wsnbcast.At(16, 8), wsnbcast.Config{})
+	fmt.Printf("Tx=%d delay=%d reach=%.0f%%\n", res.Tx, res.Delay, 100*res.Reachability())
+	// Output: Tx=208 delay=23 reach=100%
+}
+
+// Table 1's optimal efficient transmission ratios.
+func ExampleOptimalETR() {
+	for _, k := range wsnbcast.Kinds() {
+		num, den := wsnbcast.OptimalETR(k)
+		fmt.Printf("%s %d/%d\n", k, num, den)
+	}
+	// Output:
+	// 2D-3 2/3
+	// 2D-4 3/4
+	// 2D-8 5/8
+	// 3D-6 5/6
+}
+
+// The ideal case of Table 2.
+func ExampleIdealCase() {
+	ideal := wsnbcast.IdealCase(wsnbcast.CanonicalTopology(wsnbcast.Mesh2D4),
+		wsnbcast.DefaultRadio(), wsnbcast.CanonicalPacket())
+	fmt.Printf("Tx=%d Rx=%d\n", ideal.Tx, ideal.Rx)
+	// Output: Tx=170 Rx=680
+}
+
+// A full source sweep reproduces the paper's best/worst cases.
+func ExampleSweep() {
+	topo := wsnbcast.CanonicalTopology(wsnbcast.Mesh2D4)
+	s, _ := wsnbcast.Sweep(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4), wsnbcast.Config{})
+	fmt.Printf("best Tx=%d worst Tx=%d max delay=%d\n", s.Best.Tx, s.Worst.Tx, s.MaxDelay)
+	// Output: best Tx=208 worst Tx=223 max delay=45
+}
+
+// Structural verification before deployment.
+func ExampleVerify() {
+	topo := wsnbcast.CanonicalTopology(wsnbcast.Mesh2D8)
+	rep, _ := wsnbcast.Verify(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D8), wsnbcast.At(5, 9))
+	fmt.Println(rep.OK())
+	// Output: true
+}
+
+// Streaming a burst of packets at the smallest safe injection rate.
+func ExamplePipeline() {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 12, 12, 1)
+	p := wsnbcast.PaperProtocol(wsnbcast.Mesh2D4)
+	src := wsnbcast.At(6, 6)
+	interval, _ := wsnbcast.SafeInterval(topo, p, src, 4, 64)
+	snap, _, _ := wsnbcast.Snapshot(topo, p, src, wsnbcast.Config{})
+	burst, _ := wsnbcast.Pipeline(topo, snap, src,
+		wsnbcast.PipelineConfig{Packets: 8, Interval: interval})
+	fmt.Println(burst.Delivered)
+	// Output: true
+}

@@ -1,0 +1,65 @@
+// Topology selection: before deploying a regular sensor field, compare
+// the four topologies of the paper on your own mesh size and traffic
+// parameters — reproducing the paper's Section 4 conclusions ("2D mesh
+// with 4 neighbors possesses the minimum power consumption and 3D mesh
+// with 6 neighbors has the smallest maximum delay") for deployments
+// the paper never measured.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wsnbcast"
+)
+
+func main() {
+	m := flag.Int("m", 24, "mesh width")
+	n := flag.Int("n", 12, "mesh height")
+	l := flag.Int("l", 4, "mesh depth for the 3D topology")
+	flag.Parse()
+
+	fmt.Printf("comparing topologies on %dx%d (2D) and %dx%dx%d (3D) meshes\n\n",
+		*m, *n, *m, *n, *l)
+
+	tbl := &wsnbcast.Table{
+		Headers: []string{"Topology", "Nodes", "Best Tx", "Worst Tx",
+			"Best power (J)", "Worst power (J)", "Max delay", "Spread"},
+	}
+	type row struct {
+		kind  wsnbcast.Kind
+		best  float64
+		delay int
+	}
+	var rows []row
+	for _, k := range wsnbcast.Kinds() {
+		topo := wsnbcast.NewTopology(k, *m, *n, *l)
+		s, err := wsnbcast.Sweep(topo, wsnbcast.PaperProtocol(k), wsnbcast.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(k.String(), topo.NumNodes(), s.Best.Tx, s.Worst.Tx,
+			s.Best.EnergyJ, s.Worst.EnergyJ, s.MaxDelay,
+			fmt.Sprintf("%.1f%%", 100*s.EnergySpread()))
+		rows = append(rows, row{k, s.Best.EnergyJ, s.MaxDelay})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	bestPower, bestDelay := rows[0], rows[0]
+	for _, r := range rows[1:] {
+		if r.best < bestPower.best {
+			bestPower = r
+		}
+		if r.delay < bestDelay.delay {
+			bestDelay = r
+		}
+	}
+	fmt.Printf("\nminimum power:    %s (%.2e J per broadcast)\n",
+		bestPower.kind, bestPower.best)
+	fmt.Printf("minimum max delay: %s (%d slots)\n", bestDelay.kind, bestDelay.delay)
+	fmt.Println("\n(the paper's canonical 512-node result: 2D-4 wins power, 3D-6 wins delay)")
+}

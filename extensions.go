@@ -1,0 +1,139 @@
+package wsnbcast
+
+// Extensions beyond the paper's single-broadcast evaluation: protocol
+// verification, multi-packet pipelining, source rotation, and
+// irregular (random geometric) deployments.
+
+import (
+	"io"
+
+	"wsnbcast/internal/analysis"
+	"wsnbcast/internal/converge"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/pipeline"
+	"wsnbcast/internal/render"
+	"wsnbcast/internal/scenario"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/verify"
+)
+
+// Verification ---------------------------------------------------------
+
+type (
+	// VerifyReport is the outcome of a structural protocol check.
+	VerifyReport = verify.Report
+	// VerifyIssue is one structural problem (undominated node, bad
+	// offset, ...).
+	VerifyIssue = verify.Issue
+)
+
+// Verify statically checks the protocol's relay structure for one
+// source: domination (every node within a hop of a relay), relay
+// connectivity, and well-formed delays/offsets.
+func Verify(t Topology, p Protocol, src Coord) (VerifyReport, error) {
+	return verify.Check(t, p, src)
+}
+
+// VerifyAllSources runs Verify from every source and returns the first
+// failing report.
+func VerifyAllSources(t Topology, p Protocol) (VerifyReport, error) {
+	return verify.CheckAllSources(t, p)
+}
+
+// Pipelining -----------------------------------------------------------
+
+type (
+	// PipelineConfig parameterizes a multi-packet dissemination.
+	PipelineConfig = pipeline.Config
+	// PipelineResult aggregates a pipelined run.
+	PipelineResult = pipeline.Result
+)
+
+// Pipeline disseminates a stream of packets injected every
+// cfg.Interval slots; packets interfere on the shared channel.
+func Pipeline(t Topology, p Protocol, src Coord, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.Run(t, p, src, cfg)
+}
+
+// SafeInterval finds the smallest injection interval that delivers
+// every probe packet to every node.
+func SafeInterval(t Topology, p Protocol, src Coord, probe, upper int) (int, error) {
+	return pipeline.SafeInterval(t, p, src, probe, upper)
+}
+
+// Snapshot runs one broadcast and freezes its final schedule —
+// including any planned repairs — as a replayable protocol.
+func Snapshot(t Topology, p Protocol, src Coord, cfg Config) (Protocol, *Result, error) {
+	return sim.Snapshot(t, p, src, cfg)
+}
+
+// Rotation -------------------------------------------------------------
+
+// RotationReport compares fixed-source against rotated-source
+// lifetimes.
+type RotationReport = analysis.RotationReport
+
+// Rotate simulates broadcasts cycling through the schedule and returns
+// how many rounds fit a per-node battery of budgetJ.
+func Rotate(t Topology, p Protocol, schedule []Coord, cfg Config, budgetJ float64, maxRounds int) (int, error) {
+	return analysis.Rotate(t, p, schedule, cfg, budgetJ, maxRounds)
+}
+
+// CompareRotation contrasts a fixed source against a round-robin
+// rotation over the mesh corners and center.
+func CompareRotation(t Topology, p Protocol, fixed Coord, cfg Config, budgetJ float64, maxRounds int) (RotationReport, error) {
+	return analysis.CompareRotation(t, p, fixed, cfg, budgetJ, maxRounds)
+}
+
+// Irregular deployments -------------------------------------------------
+
+// NewIrregularTopology builds a jittered-grid random geometric
+// deployment: nodes near the m x n grid positions (displaced up to
+// jitter per axis), connected within radius; deterministic in seed.
+func NewIrregularTopology(m, n int, jitter, radius float64, seed uint64) Topology {
+	return grid.NewIrregular(m, n, jitter, radius, seed)
+}
+
+// IsConnectedGraph reports whether every node of the topology is
+// reachable from node 0 — check before broadcasting on an irregular
+// deployment.
+func IsConnectedGraph(t Topology) bool { return grid.IsConnectedGraph(t) }
+
+// AvgDegree returns the topology's mean node degree.
+func AvgDegree(t Topology) float64 { return grid.AvgDegree(t) }
+
+// Convergecast -----------------------------------------------------------
+
+type (
+	// ConvergeConfig parameterizes a data-collection round.
+	ConvergeConfig = converge.Config
+	// ConvergeResult is the outcome of a convergecast round.
+	ConvergeResult = converge.Result
+)
+
+// Convergecast runs one aggregating data-collection round: every
+// node's reading flows down a shortest-path tree to the sink, each
+// relay aggregating its subtree into one packet.
+func Convergecast(t Topology, sink Coord, cfg ConvergeConfig) (*ConvergeResult, error) {
+	return converge.Run(t, sink, cfg)
+}
+
+// Scenarios ---------------------------------------------------------------
+
+type (
+	// Scenario is a declarative experiment (JSON-loadable).
+	Scenario = scenario.Scenario
+	// ScenarioReport is a scenario's JSON-renderable output.
+	ScenarioReport = scenario.Report
+)
+
+// LoadScenario parses a JSON scenario document.
+func LoadScenario(r io.Reader) (Scenario, error) { return scenario.Load(r) }
+
+// Rendering ---------------------------------------------------------------
+
+// EnergyHeatmap renders one XY plane's per-node energy as ASCII.
+func EnergyHeatmap(t Topology, r *Result, z int) string { return render.EnergyHeatmap(t, r, z) }
+
+// Volume renders every XY plane of a 3D broadcast side by side.
+func Volume(t Topology, r *Result) string { return render.Volume(t, r) }

@@ -1,0 +1,136 @@
+package wsnbcast_test
+
+import (
+	"strings"
+	"testing"
+
+	"wsnbcast"
+)
+
+func TestFacadeVerify(t *testing.T) {
+	topo := wsnbcast.CanonicalTopology(wsnbcast.Mesh2D4)
+	rep, err := wsnbcast.Verify(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4), wsnbcast.At(6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("paper protocol failed verification: %v", rep.Issues)
+	}
+	rep, err = wsnbcast.VerifyAllSources(wsnbcast.NewTopology(wsnbcast.Mesh2D8, 10, 8, 1),
+		wsnbcast.PaperProtocol(wsnbcast.Mesh2D8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("2D-8 failed verification from %v", rep.Source)
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 10, 10, 1)
+	p := wsnbcast.PaperProtocol(wsnbcast.Mesh2D4)
+	src := wsnbcast.At(5, 5)
+	safe, err := wsnbcast.SafeInterval(topo, p, src, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, one, err := wsnbcast.Snapshot(topo, p, src, wsnbcast.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.FullyReached() {
+		t.Fatal("snapshot run incomplete")
+	}
+	r, err := wsnbcast.Pipeline(topo, snap, src,
+		wsnbcast.PipelineConfig{Packets: 5, Interval: safe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered {
+		t.Errorf("pipeline at safe interval %d failed", safe)
+	}
+	if r.Throughput() <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+func TestFacadeRotation(t *testing.T) {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 8, 8, 1)
+	p := wsnbcast.PaperProtocol(wsnbcast.Mesh2D4)
+	rep, err := wsnbcast.CompareRotation(topo, p, wsnbcast.At(4, 4), wsnbcast.Config{}, 0.1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gain < 1 {
+		t.Errorf("rotation gain %.2f < 1", rep.Gain)
+	}
+	rounds, err := wsnbcast.Rotate(topo, p, []wsnbcast.Coord{wsnbcast.At(1, 1)},
+		wsnbcast.Config{}, 0.1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 0 {
+		t.Errorf("rounds = %d", rounds)
+	}
+}
+
+func TestFacadeIrregular(t *testing.T) {
+	topo := wsnbcast.NewIrregularTopology(12, 12, 0.3, 1.5, 11)
+	if !wsnbcast.IsConnectedGraph(topo) {
+		t.Skip("seed produced a disconnected graph")
+	}
+	if d := wsnbcast.AvgDegree(topo); d <= 0 {
+		t.Errorf("avg degree %f", d)
+	}
+	r, err := wsnbcast.Broadcast(topo, wsnbcast.JitteredFlooding(6), wsnbcast.At(6, 6),
+		wsnbcast.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullyReached() {
+		t.Errorf("flooding on connected RGG incomplete: %d/%d", r.Reached, r.Total)
+	}
+}
+
+func TestFacadeConvergecast(t *testing.T) {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 10, 8, 1)
+	r, err := wsnbcast.Convergecast(topo, wsnbcast.At(5, 4), wsnbcast.ConvergeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tx < topo.NumNodes()-1 || r.EnergyJ <= 0 {
+		t.Errorf("converge: %+v", r)
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	s, err := wsnbcast.LoadScenario(strings.NewReader(`{
+		"topology": {"kind": "2d8", "m": 8, "n": 6},
+		"sources": [{"x": 4, "y": 3}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Reached != 48 {
+		t.Errorf("scenario report: %+v", rep)
+	}
+}
+
+func TestFacadeRenders(t *testing.T) {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh3D6, 4, 4, 3)
+	r, err := wsnbcast.Broadcast(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh3D6),
+		wsnbcast.At3(2, 2, 2), wsnbcast.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := wsnbcast.Volume(topo, r); !strings.Contains(out, "all 3 planes") {
+		t.Error("volume render")
+	}
+	if out := wsnbcast.EnergyHeatmap(topo, r, 2); !strings.Contains(out, "heatmap") {
+		t.Error("heatmap render")
+	}
+}

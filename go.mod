@@ -1,0 +1,3 @@
+module wsnbcast
+
+go 1.22

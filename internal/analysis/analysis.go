@@ -1,0 +1,175 @@
+// Package analysis runs source-position sweeps of a broadcast protocol
+// and aggregates them into the paper's Section 4 statistics: the best
+// case, the worst case and the maximum delay over all source positions
+// (Tables 3, 4 and 5), plus distribution diagnostics the paper
+// discusses qualitatively (center sources perform better than corner
+// sources; 2D-3 and 2D-8 are insensitive to the source location).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/stats"
+)
+
+// Summary aggregates one full sweep: the protocol run once from every
+// source position of the topology.
+type Summary struct {
+	Kind     grid.Kind
+	Protocol string
+	Runs     int
+
+	// Best is the run with the lowest total energy, Worst the highest
+	// (the paper's best/worst cases over source positions).
+	Best, Worst Case
+
+	// MaxDelay is the largest broadcast delay over all sources
+	// (Table 5).
+	MaxDelay int
+	// MaxDelaySource is a source attaining MaxDelay.
+	MaxDelaySource grid.Coord
+
+	// MeanEnergyJ and EnergySpread describe the sensitivity to the
+	// source location ((worst-best)/best).
+	MeanEnergyJ float64
+	// EnergyStats, TxStats and DelayStats carry the full per-source
+	// distributions (mean, standard deviation, extremes).
+	EnergyStats stats.Running
+	TxStats     stats.Running
+	DelayStats  stats.Running
+
+	// TotalRepairs counts scheduler-planned retransmissions across the
+	// sweep; MaxRepairs the worst single run.
+	TotalRepairs int
+	MaxRepairs   int
+
+	// TotalCollisions across the sweep.
+	TotalCollisions int
+}
+
+// Case is one run's paper-style row: Tx, Rx and power.
+type Case struct {
+	Source  grid.Coord
+	Tx, Rx  int
+	EnergyJ float64
+	Delay   int
+}
+
+func caseOf(r *sim.Result) Case {
+	return Case{Source: r.Source, Tx: r.Tx, Rx: r.Rx, EnergyJ: r.EnergyJ, Delay: r.Delay}
+}
+
+// EnergySpread returns (worst - best) / best: the paper's
+// source-location sensitivity.
+func (s Summary) EnergySpread() float64 {
+	if s.Best.EnergyJ == 0 {
+		return math.Inf(1)
+	}
+	return (s.Worst.EnergyJ - s.Best.EnergyJ) / s.Best.EnergyJ
+}
+
+// Sweep runs the protocol from every source of the topology in
+// parallel and aggregates the results. Every run must achieve 100%
+// reachability or Sweep returns an error naming the failing source.
+func Sweep(t grid.Topology, p sim.Protocol, cfg sim.Config) (Summary, error) {
+	return SweepSources(t, p, cfg, nil)
+}
+
+// SweepSources is Sweep restricted to the given sources (nil means all
+// nodes).
+func SweepSources(t grid.Topology, p sim.Protocol, cfg sim.Config, sources []grid.Coord) (Summary, error) {
+	if sources == nil {
+		sources = make([]grid.Coord, t.NumNodes())
+		for i := range sources {
+			sources[i] = t.At(i)
+		}
+	}
+	results := make([]*sim.Result, len(sources))
+	errs := make([]error, len(sources))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = sim.Run(t, p, sources[i], cfg)
+			}
+		}()
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	s := Summary{Kind: t.Kind(), Protocol: p.Name()}
+	sumEnergy := 0.0
+	for i, r := range results {
+		if errs[i] != nil {
+			return s, fmt.Errorf("analysis: source %s: %w", sources[i], errs[i])
+		}
+		if !r.FullyReached() {
+			return s, fmt.Errorf("analysis: source %s reached only %d/%d nodes",
+				sources[i], r.Reached, r.Total)
+		}
+		c := caseOf(r)
+		s.EnergyStats.Add(c.EnergyJ)
+		s.TxStats.Add(float64(c.Tx))
+		s.DelayStats.Add(float64(c.Delay))
+		if s.Runs == 0 || c.EnergyJ < s.Best.EnergyJ {
+			s.Best = c
+		}
+		if s.Runs == 0 || c.EnergyJ > s.Worst.EnergyJ {
+			s.Worst = c
+		}
+		if r.Delay > s.MaxDelay || s.Runs == 0 {
+			s.MaxDelay = r.Delay
+			s.MaxDelaySource = r.Source
+		}
+		s.Runs++
+		sumEnergy += c.EnergyJ
+		s.TotalRepairs += r.Repairs
+		if r.Repairs > s.MaxRepairs {
+			s.MaxRepairs = r.Repairs
+		}
+		s.TotalCollisions += r.Collisions
+	}
+	if s.Runs > 0 {
+		s.MeanEnergyJ = sumEnergy / float64(s.Runs)
+	}
+	return s, nil
+}
+
+// CornersAndCenter returns a small representative source set: the
+// mesh corners plus the central node — the positions the paper's
+// best/worst discussion revolves around.
+func CornersAndCenter(t grid.Topology) []grid.Coord {
+	m, n, l := t.Size()
+	set := map[grid.Coord]bool{}
+	for _, x := range []int{1, m} {
+		for _, y := range []int{1, n} {
+			for _, z := range []int{1, l} {
+				set[grid.C3(x, y, z)] = true
+			}
+		}
+	}
+	set[grid.C3((m+1)/2, (n+1)/2, (l+1)/2)] = true
+	out := make([]grid.Coord, 0, len(set))
+	for i := 0; i < t.NumNodes(); i++ {
+		if set[t.At(i)] {
+			out = append(out, t.At(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"wsnbcast/internal/radio"
+	"wsnbcast/internal/sim"
+)
+
+// Idle-listening accounting. The paper's power metric (Section 4)
+// counts only transmissions and receptions; real sensor radios also
+// burn energy while listening for a packet that never comes. With
+// synchronized slots, every live node keeps its receiver on from the
+// broadcast's start until the last slot of activity — so a protocol's
+// *delay* directly costs energy across the whole network, which the
+// paper's metric hides.
+
+// IdleJPerSlot models the receiver electronics running for one slot
+// (one packet time) without decoding anything: E_elec * k, the same
+// electronics cost as an actual reception (the amplifier term applies
+// only to transmitters).
+func IdleJPerSlot(m radio.Model, p radio.Packet) float64 {
+	return m.RxEnergyJ(p.Bits)
+}
+
+// IdleBreakdown describes a broadcast's energy under idle accounting.
+type IdleBreakdown struct {
+	// ActiveJ is the paper's metric: Tx*E_Tx + Rx*E_Rx.
+	ActiveJ float64
+	// IdleJ is the listening cost: every live node keeps its radio on
+	// for the broadcast's duration (Delay+1 slots), minus the slots in
+	// which it actually received (already counted in ActiveJ).
+	IdleJ float64
+	// TotalJ = ActiveJ + IdleJ.
+	TotalJ float64
+}
+
+// WithIdle recomputes a broadcast's energy including idle listening.
+func WithIdle(r *sim.Result, m radio.Model, p radio.Packet) IdleBreakdown {
+	idlePerSlot := IdleJPerSlot(m, p)
+	awakeSlots := r.Delay + 1
+	// Total listening slots across live nodes, minus the Rx events that
+	// already paid the electronics cost.
+	idleSlots := r.Total*awakeSlots - r.Rx
+	if idleSlots < 0 {
+		idleSlots = 0
+	}
+	b := IdleBreakdown{ActiveJ: r.EnergyJ, IdleJ: float64(idleSlots) * idlePerSlot}
+	b.TotalJ = b.ActiveJ + b.IdleJ
+	return b
+}

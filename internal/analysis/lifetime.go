@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Lifetime analysis — the motivation of the paper's introduction: the
+// sensor nodes have no plug-in power, so the rounds a network survives
+// are bounded by the most-loaded node. This module estimates how many
+// repeated broadcasts a battery budget sustains under a protocol.
+
+// LifetimeReport describes the energy-load distribution of repeated
+// broadcasts from a fixed source.
+type LifetimeReport struct {
+	Kind     grid.Kind
+	Protocol string
+	Source   grid.Coord
+	// MaxNodeEnergyJ is the per-broadcast energy of the most loaded
+	// node; it bounds the network lifetime.
+	MaxNodeEnergyJ float64
+	// MeanNodeEnergyJ is the average per-node energy per broadcast.
+	MeanNodeEnergyJ float64
+	// P50, P90, P99 are per-node energy quantiles per broadcast.
+	P50, P90, P99 float64
+	// ImbalanceRatio is Max/Mean: 1.0 means perfectly balanced load.
+	ImbalanceRatio float64
+	// Fairness is Jain's index over the per-node energies: 1.0 means a
+	// perfectly balanced load.
+	Fairness float64
+	// RoundsOnBudget is how many broadcasts a per-node battery of
+	// budgetJ Joules sustains before the first node dies.
+	RoundsOnBudget int
+	// BudgetJ echoes the battery budget used.
+	BudgetJ float64
+}
+
+// Lifetime estimates the broadcast rounds a per-node battery of
+// budgetJ sustains for the given protocol and source.
+func Lifetime(t grid.Topology, p sim.Protocol, src grid.Coord, cfg sim.Config, budgetJ float64) (LifetimeReport, error) {
+	r, err := sim.Run(t, p, src, cfg)
+	if err != nil {
+		return LifetimeReport{}, err
+	}
+	rep := LifetimeReport{
+		Kind:     t.Kind(),
+		Protocol: p.Name(),
+		Source:   src,
+		BudgetJ:  budgetJ,
+	}
+	sorted := append([]float64(nil), r.PerNodeEnergyJ...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, e := range sorted {
+		sum += e
+	}
+	n := len(sorted)
+	rep.MaxNodeEnergyJ = sorted[n-1]
+	rep.MeanNodeEnergyJ = sum / float64(n)
+	rep.P50 = sorted[n/2]
+	rep.P90 = sorted[min(n-1, n*9/10)]
+	rep.P99 = sorted[min(n-1, n*99/100)]
+	if rep.MeanNodeEnergyJ > 0 {
+		rep.ImbalanceRatio = rep.MaxNodeEnergyJ / rep.MeanNodeEnergyJ
+	}
+	rep.Fairness = JainIndex(r.PerNodeEnergyJ)
+	if rep.MaxNodeEnergyJ > 0 && budgetJ > 0 {
+		rep.RoundsOnBudget = int(math.Floor(budgetJ / rep.MaxNodeEnergyJ))
+	}
+	return rep, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// JainIndex computes Jain's fairness index over the per-node energies:
+// (sum x)^2 / (n * sum x^2), 1.0 when perfectly balanced, 1/n when a
+// single node carries everything.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+func TestRotateBasics(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 10)
+	p := core.NewMesh4Protocol()
+	rounds, err := Rotate(topo, p, []grid.Coord{grid.C2(5, 5)}, sim.Config{}, 0.01, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 0 || rounds >= 10000 {
+		t.Errorf("rounds = %d", rounds)
+	}
+	// Double the budget: at least as many rounds, roughly double.
+	rounds2, err := Rotate(topo, p, []grid.Coord{grid.C2(5, 5)}, sim.Config{}, 0.02, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds2 < rounds {
+		t.Errorf("bigger budget gave fewer rounds: %d vs %d", rounds2, rounds)
+	}
+	if rounds2 > 2*rounds+2 || rounds2 < 2*rounds-2 {
+		t.Errorf("rounds should scale ~linearly: %d vs %d", rounds2, rounds)
+	}
+}
+
+func TestRotationBalancesLoad(t *testing.T) {
+	topo := grid.NewMesh2D4(12, 12)
+	rep, err := CompareRotation(topo, core.NewMesh4Protocol(), grid.C2(6, 6),
+		sim.Config{}, 0.05, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RotatedRounds < rep.FixedRounds {
+		t.Errorf("rotation %d rounds worse than fixed %d", rep.RotatedRounds, rep.FixedRounds)
+	}
+	if rep.Gain < 1 {
+		t.Errorf("gain = %.2f", rep.Gain)
+	}
+	t.Logf("fixed %d rounds, rotated %d rounds (gain %.2fx)",
+		rep.FixedRounds, rep.RotatedRounds, rep.Gain)
+}
+
+func TestRotateValidation(t *testing.T) {
+	topo := grid.NewMesh2D4(4, 4)
+	p := core.NewMesh4Protocol()
+	if _, err := Rotate(topo, p, nil, sim.Config{}, 1, 10); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := Rotate(topo, p, []grid.Coord{grid.C2(1, 1)}, sim.Config{}, 0, 10); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Rotate(topo, p, []grid.Coord{grid.C2(9, 9)}, sim.Config{}, 1, 10); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestRotateMaxRoundsCap(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 6)
+	p := core.NewMesh4Protocol()
+	rounds, err := Rotate(topo, p, []grid.Coord{grid.C2(3, 3)}, sim.Config{}, 1e9, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 17 {
+		t.Errorf("cap not honored: %d", rounds)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{1, 1, 1, 1}); j != 1 {
+		t.Errorf("balanced = %g", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); j != 0.25 {
+		t.Errorf("single = %g", j)
+	}
+	if j := JainIndex(nil); j != 0 {
+		t.Errorf("empty = %g", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 1 {
+		t.Errorf("all-zero = %g", j)
+	}
+}
+
+func TestLifetimeFairness(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 10)
+	rep, err := Lifetime(topo, core.NewMesh4Protocol(), grid.C2(5, 5), sim.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fairness <= 0 || rep.Fairness > 1 {
+		t.Errorf("fairness = %g", rep.Fairness)
+	}
+	// Flooding loads everyone heavily but more evenly than the relay
+	// structure concentrates load.
+	fl, err := Lifetime(topo, core.NewFlooding(), grid.C2(5, 5), sim.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Fairness <= rep.Fairness {
+		t.Logf("note: flooding fairness %.3f vs paper %.3f", fl.Fairness, rep.Fairness)
+	}
+}

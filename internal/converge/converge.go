@@ -1,0 +1,233 @@
+// Package converge implements aggregating convergecast — the inverse
+// of the paper's broadcast and the workload its related work (LEACH,
+// TEEN) collects: every node holds a reading, readings flow down a
+// shortest-path tree toward a sink, and each relay aggregates its
+// subtree into one packet before forwarding. The same slotted radio
+// applies: simultaneous transmissions in range of a receiver collide,
+// and colliding senders retry with a deterministic backoff.
+//
+// Together with the broadcast protocols this completes the
+// communication pattern of a monitoring deployment: commands out via
+// broadcast, readings back via convergecast.
+package converge
+
+import (
+	"fmt"
+	"sort"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+)
+
+// Config parameterizes a convergecast round.
+type Config struct {
+	// Model and Packet default to the paper's radio parameters.
+	Model  radio.Model
+	Packet radio.Packet
+	// MaxSlots bounds the simulation (0 = automatic).
+	MaxSlots int
+}
+
+// Result is the outcome of one convergecast round.
+type Result struct {
+	Kind  grid.Kind
+	Sink  grid.Coord
+	Total int
+
+	// Tx counts transmissions including retries; Rx receptions.
+	Tx, Rx int
+	// EnergyJ is the total radio energy of the round.
+	EnergyJ float64
+	// Slots is the slot in which the sink received its last child's
+	// aggregate.
+	Slots int
+	// Collisions counts collision events; Retries the retransmissions
+	// they caused.
+	Collisions, Retries int
+	// Depth is the tree height (a lower bound on Slots).
+	Depth int
+	// PerNodeEnergyJ is each node's radio energy.
+	PerNodeEnergyJ []float64
+}
+
+// Run performs one aggregating convergecast to the sink.
+//
+// Tree: every node's parent is its neighbor closest to the sink in hop
+// distance (ties by dense index), giving a BFS shortest-path tree.
+//
+// Schedule: a leaf fires in slot 1; an interior node fires one slot
+// after the last of its children succeeded. A transmission succeeds if
+// no other node in radio range of the parent transmits in the same
+// slot; otherwise every collided sender retries after a deterministic
+// pseudo-random backoff of 1..4 slots derived from its index and
+// attempt number (so symmetric colliders separate).
+func Run(t grid.Topology, sink grid.Coord, cfg Config) (*Result, error) {
+	if !t.Contains(sink) {
+		return nil, fmt.Errorf("converge: sink %s outside mesh", sink)
+	}
+	if cfg.Model == (radio.Model{}) {
+		cfg.Model = radio.Default()
+	}
+	if cfg.Packet == (radio.Packet{}) {
+		cfg.Packet = radio.CanonicalPacket()
+	}
+	v := t.NumNodes()
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = 1024 + 64*v
+	}
+
+	adj := make([][]int32, v)
+	var buf []grid.Coord
+	for i := 0; i < v; i++ {
+		buf = t.Neighbors(t.At(i), buf[:0])
+		row := make([]int32, len(buf))
+		for k, nb := range buf {
+			row[k] = int32(t.Index(nb))
+		}
+		adj[i] = row
+	}
+
+	// BFS distances from the sink and parent selection.
+	dist := make([]int, v)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sinkIdx := t.Index(sink)
+	dist[sinkIdx] = 0
+	queue := []int32{int32(sinkIdx)}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, nb := range adj[cur] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	res := &Result{Kind: t.Kind(), Sink: sink, Total: v}
+	parent := make([]int32, v)
+	children := make([][]int32, v)
+	for i := 0; i < v; i++ {
+		parent[i] = -1
+		if i == sinkIdx {
+			continue
+		}
+		if dist[i] < 0 {
+			return nil, fmt.Errorf("converge: node %s disconnected from the sink", t.At(i))
+		}
+		if dist[i] > res.Depth {
+			res.Depth = dist[i]
+		}
+		best := int32(-1)
+		for _, nb := range adj[i] {
+			if dist[nb] != dist[i]-1 {
+				continue
+			}
+			if best < 0 || nb < best {
+				best = nb
+			}
+		}
+		parent[i] = best
+		children[best] = append(children[best], int32(i))
+	}
+
+	// pendingChildren[i] = children whose aggregates node i still
+	// awaits; a node becomes ready when the count hits zero.
+	pendingChildren := make([]int, v)
+	fireAt := make(map[int][]int32) // slot -> senders
+	scheduleFire := func(slot int, node int32) {
+		fireAt[slot] = append(fireAt[slot], node)
+	}
+	outstanding := 0
+	for i := 0; i < v; i++ {
+		pendingChildren[i] = len(children[i])
+		if i != sinkIdx {
+			outstanding++
+			if pendingChildren[i] == 0 {
+				scheduleFire(1, int32(i)) // leaves fire in slot 1
+			}
+		}
+	}
+
+	heard := make([]int, v)   // receptions per node (for energy)
+	txs := make([]int, v)     // transmissions per node (for energy)
+	attempt := make([]int, v) // per-node transmission attempts
+	hit := make([]int, v)
+	for slot := 1; outstanding > 0; slot++ {
+		if slot > cfg.MaxSlots {
+			return nil, fmt.Errorf("converge: exceeded %d slots", cfg.MaxSlots)
+		}
+		senders := fireAt[slot]
+		if len(senders) == 0 {
+			continue
+		}
+		delete(fireAt, slot)
+		sort.Slice(senders, func(a, b int) bool { return senders[a] < senders[b] })
+		// Radio accounting: every neighbor of a sender hears it.
+		var touched []int32
+		for _, s := range senders {
+			res.Tx++
+			txs[s]++
+			for _, nb := range adj[s] {
+				heard[nb]++
+				res.Rx++
+				if hit[nb] == 0 {
+					touched = append(touched, nb)
+				}
+				hit[nb]++
+			}
+		}
+		// Delivery: sender s succeeds iff its parent heard exactly one
+		// transmission this slot.
+		for _, s := range senders {
+			p := parent[s]
+			if hit[p] == 1 {
+				outstanding--
+				pendingChildren[p]--
+				if int(p) != sinkIdx && pendingChildren[p] == 0 {
+					scheduleFire(slot+1, p)
+				}
+				if int(p) == sinkIdx && outstanding >= 0 {
+					res.Slots = slot
+				}
+			} else {
+				res.Retries++
+				attempt[s]++
+				scheduleFire(slot+backoff(int(s), attempt[s]), s)
+			}
+		}
+		for _, nb := range touched {
+			if hit[nb] >= 2 {
+				res.Collisions++
+			}
+			hit[nb] = 0
+		}
+		if outstanding == 0 && res.Slots < slot {
+			res.Slots = slot
+		}
+	}
+
+	etx := cfg.Model.TxEnergyJ(cfg.Packet.Bits, cfg.Packet.NeighborDistM)
+	erx := cfg.Model.RxEnergyJ(cfg.Packet.Bits)
+	res.EnergyJ = float64(res.Tx)*etx + float64(res.Rx)*erx
+	res.PerNodeEnergyJ = make([]float64, v)
+	for i := 0; i < v; i++ {
+		res.PerNodeEnergyJ[i] = float64(txs[i])*etx + float64(heard[i])*erx
+	}
+	return res, nil
+}
+
+// backoff derives a deterministic pseudo-random retry delay in 1..4
+// from the node index and attempt number (splitmix64 mix), so two
+// symmetric colliders separate after a retry or two.
+func backoff(node, attempt int) int {
+	z := uint64(node)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return 1 + int(z%4)
+}
+
+// Delivered reports whether every node's aggregate reached the sink
+// (Run errors out otherwise, so this is always true for a returned
+// result; provided for symmetry with the broadcast API).
+func (r *Result) Delivered() bool { return r != nil }

@@ -1,0 +1,146 @@
+package converge
+
+import (
+	"math"
+	"testing"
+
+	"wsnbcast/internal/grid"
+)
+
+func TestConvergeLine(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 1)
+	r, err := Run(topo, grid.C2(1, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A line aggregates leaf-to-sink: node 6 fires at 1, node 5 at 2,
+	// ..., node 2 at 5; no collisions (only one sender per slot in
+	// range of each parent... the chain fires sequentially).
+	if r.Depth != 5 {
+		t.Errorf("Depth = %d, want 5", r.Depth)
+	}
+	if r.Slots != 5 {
+		t.Errorf("Slots = %d, want 5", r.Slots)
+	}
+	if r.Tx != 5 {
+		t.Errorf("Tx = %d, want 5 (one aggregate per non-sink node)", r.Tx)
+	}
+	if r.Collisions != 0 || r.Retries != 0 {
+		t.Errorf("collisions/retries = %d/%d", r.Collisions, r.Retries)
+	}
+}
+
+func TestConvergeCompletesAllTopologies(t *testing.T) {
+	t.Parallel()
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		m, n, l := topo.Size()
+		for _, sink := range []grid.Coord{grid.C3(1, 1, 1), grid.C3((m+1)/2, (n+1)/2, (l+1)/2)} {
+			r, err := Run(topo, sink, Config{})
+			if err != nil {
+				t.Fatalf("%v sink %v: %v", k, sink, err)
+			}
+			// Every non-sink node transmits at least once.
+			if r.Tx < topo.NumNodes()-1 {
+				t.Errorf("%v: Tx = %d < %d", k, r.Tx, topo.NumNodes()-1)
+			}
+			if r.Slots < r.Depth {
+				t.Errorf("%v: Slots %d below tree depth %d", k, r.Slots, r.Depth)
+			}
+			if r.EnergyJ <= 0 {
+				t.Errorf("%v: energy %g", k, r.EnergyJ)
+			}
+		}
+	}
+}
+
+func TestConvergeEnergyAdditive(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 10)
+	r, err := Run(topo, grid.C2(5, 5), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, e := range r.PerNodeEnergyJ {
+		sum += e
+	}
+	if math.Abs(sum-r.EnergyJ) > 1e-12 {
+		t.Errorf("per-node sum %g != total %g", sum, r.EnergyJ)
+	}
+}
+
+func TestConvergeSinkValidation(t *testing.T) {
+	topo := grid.NewMesh2D4(4, 4)
+	if _, err := Run(topo, grid.C2(9, 9), Config{}); err == nil {
+		t.Error("bad sink accepted")
+	}
+}
+
+func TestConvergeDisconnected(t *testing.T) {
+	topo := grid.NewMesh2D3(1, 4) // disconnected brick wall
+	if _, err := Run(topo, grid.C2(1, 1), Config{}); err == nil {
+		t.Error("disconnected mesh accepted")
+	}
+}
+
+// Aggregation keeps transmissions linear in nodes even under
+// collisions: retries stay a small fraction.
+func TestConvergeRetriesBounded(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	r, err := Run(topo, grid.C2(16, 8), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retries > r.Total {
+		t.Errorf("retries %d exceed node count %d", r.Retries, r.Total)
+	}
+	t.Logf("2D-4 convergecast: Tx=%d retries=%d slots=%d (depth %d) E=%.3e J",
+		r.Tx, r.Retries, r.Slots, r.Depth, r.EnergyJ)
+}
+
+// Determinism.
+func TestConvergeDeterministic(t *testing.T) {
+	topo := grid.NewMesh2D8(12, 10)
+	a, err := Run(topo, grid.C2(3, 3), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(topo, grid.C2(3, 3), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tx != b.Tx || a.Slots != b.Slots || a.Retries != b.Retries {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBackoffRange(t *testing.T) {
+	for node := 0; node < 100; node++ {
+		for att := 1; att < 10; att++ {
+			if b := backoff(node, att); b < 1 || b > 4 {
+				t.Fatalf("backoff(%d,%d) = %d", node, att, b)
+			}
+		}
+	}
+	// Symmetric colliders must separate within a few attempts.
+	same := 0
+	for att := 1; att <= 4; att++ {
+		if backoff(10, att) == backoff(40, att) {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Error("nodes 10 and 40 never separate")
+	}
+}
+
+func TestSingleNodeConverge(t *testing.T) {
+	topo := grid.NewMesh2D4(1, 1)
+	r, err := Run(topo, grid.C2(1, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tx != 0 || r.Slots != 0 {
+		t.Errorf("singleton: %+v", r)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Ablation A2: blind flooding reaches everyone only through massive
+// collision repair and burns far more transmissions and energy than
+// the paper's relay selection.
+func TestFloodingVsPaperProtocol(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	src := grid.C2(16, 8)
+	flood, err := sim.Run(topo, NewFlooding(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := sim.Run(topo, NewMesh4Protocol(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flood.FullyReached() {
+		t.Fatalf("flooding did not reach everyone: %v", flood)
+	}
+	if flood.EnergyJ <= paper.EnergyJ {
+		t.Errorf("flooding energy %.3e not worse than paper %.3e", flood.EnergyJ, paper.EnergyJ)
+	}
+	if flood.Collisions <= paper.Collisions {
+		t.Errorf("flooding collisions %d not worse than paper %d", flood.Collisions, paper.Collisions)
+	}
+}
+
+// Jittered flooding trades delay for fewer repairs than blind
+// flooding.
+func TestJitteredFlooding(t *testing.T) {
+	topo := grid.NewMesh2D4(16, 16)
+	src := grid.C2(8, 8)
+	blind, err := sim.Run(topo, NewFlooding(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := sim.Run(topo, NewJitteredFlooding(6), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jit.FullyReached() {
+		t.Fatalf("jittered flooding incomplete: %v", jit)
+	}
+	if jit.Delay <= blind.Delay {
+		t.Errorf("jitter should lengthen delay: %d vs %d", jit.Delay, blind.Delay)
+	}
+	if jit.Repairs >= blind.Repairs && blind.Repairs > 0 {
+		t.Errorf("jitter should reduce repairs: %d vs %d", jit.Repairs, blind.Repairs)
+	}
+}
+
+func TestFloodingNames(t *testing.T) {
+	if NewFlooding().Name() != "flooding" {
+		t.Error("blind flooding name")
+	}
+	if NewJitteredFlooding(4).Name() != "flooding-jitter" {
+		t.Error("jittered flooding name")
+	}
+}
+
+// The jitter hash must be deterministic and within bounds.
+func TestJitterBounds(t *testing.T) {
+	p := NewJitteredFlooding(5)
+	topo := grid.NewMesh2D4(10, 10)
+	src := grid.C2(1, 1)
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		d := p.TxDelay(topo, src, c)
+		if d < 1 || d > 5 {
+			t.Fatalf("jitter delay %d out of [1,5]", d)
+		}
+		if d2 := p.TxDelay(topo, src, c); d2 != d {
+			t.Fatalf("jitter not deterministic")
+		}
+	}
+}
+
+// Ablation A1: both delay-based 2D-4 variants reach 100% but cost
+// more delay than the retransmission strategy, exactly as the paper
+// argues in Section 3.1.
+func TestDelayedVariantsVsRetransmit(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	src := grid.C2(6, 8)
+	retx, err := sim.Run(topo, NewMesh4Protocol(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []DelayVariant{DelayRows, DelayColumns} {
+		r, err := sim.Run(topo, NewDelayedMesh4(v), src, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.FullyReached() {
+			t.Fatalf("variant %d incomplete: %v", v, r)
+		}
+		if r.Delay < retx.Delay {
+			t.Errorf("variant %d delay %d beats retransmission %d — paper argues the opposite",
+				v, r.Delay, retx.Delay)
+		}
+	}
+}
+
+// The paper's analysis: delaying rows costs more delay than delaying
+// columns ("3 extra time slots" vs "an extra time slot").
+func TestDelayRowsCostsMoreThanDelayColumns(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	src := grid.C2(6, 8)
+	rows, err := sim.Run(topo, NewDelayedMesh4(DelayRows), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := sim.Run(topo, NewDelayedMesh4(DelayColumns), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Delay < cols.Delay {
+		t.Errorf("delay-rows %d < delay-columns %d, paper predicts the opposite order",
+			rows.Delay, cols.Delay)
+	}
+}
+
+func TestDelayedVariantNames(t *testing.T) {
+	if NewDelayedMesh4(DelayRows).Name() != "paper-2d4-delayrows" {
+		t.Error("delay rows name")
+	}
+	if NewDelayedMesh4(DelayColumns).Name() != "paper-2d4-delaycols" {
+		t.Error("delay cols name")
+	}
+}
+
+// Ablation A4: the axis-forwarding 2D-8 strawman reaches everyone but
+// wastes energy relative to diagonal forwarding (already asserted in
+// mesh8 tests); here: it must at least complete from several sources.
+func TestMesh8AxisCompletes(t *testing.T) {
+	topo := grid.NewMesh2D8(16, 12)
+	for _, src := range []grid.Coord{grid.C2(1, 1), grid.C2(8, 6), grid.C2(16, 12)} {
+		r, err := sim.Run(topo, NewMesh8Axis(), src, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.FullyReached() {
+			t.Errorf("axis-2d8 from %v: %d/%d", src, r.Reached, r.Total)
+		}
+	}
+}
+
+// Ablation A3: the per-plane 3D strawman completes everywhere.
+func TestPerPlane3DCompletes(t *testing.T) {
+	topo := grid.NewMesh3D6(6, 6, 4)
+	for _, src := range []grid.Coord{grid.C3(1, 1, 1), grid.C3(3, 3, 2), grid.C3(6, 6, 4)} {
+		r, err := sim.Run(topo, NewPerPlane3D(), src, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.FullyReached() {
+			t.Errorf("perplane-3d from %v: %d/%d", src, r.Reached, r.Total)
+		}
+	}
+}
+
+// Flooding reaches 100% on all four canonical topologies (the repair
+// guarantee applies to any protocol).
+func TestFloodingAllTopologies(t *testing.T) {
+	t.Parallel()
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		r, err := sim.Run(topo, NewFlooding(), topo.At(0), sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.FullyReached() {
+			t.Errorf("%v flooding: %d/%d", k, r.Reached, r.Total)
+		}
+	}
+}
+
+func TestCoordHashDeterministic(t *testing.T) {
+	a := coordHash(grid.C3(3, 4, 5))
+	b := coordHash(grid.C3(3, 4, 5))
+	c := coordHash(grid.C3(4, 3, 5))
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == c {
+		t.Error("hash collision on swapped coordinates (suspicious)")
+	}
+}
+
+// Gossip percolation: low forwarding probability strands nodes, p=1 is
+// flooding, and the flip is deterministic per (source, node).
+func TestGossipPercolation(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	src := grid.C2(16, 8)
+	low, err := sim.Run(topo, GossipProtocol{P: 0.2, Jitter: 4}, src, sim.Config{DisableRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := sim.Run(topo, GossipProtocol{P: 0.9, Jitter: 4}, src, sim.Config{DisableRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Reached >= high.Reached {
+		t.Errorf("low-p reach %d not below high-p %d", low.Reached, high.Reached)
+	}
+	if float64(low.Reached)/float64(low.Total) > 0.8 {
+		t.Errorf("p=0.2 reached %.2f, expected sub-percolation", low.Reachability())
+	}
+}
+
+func TestGossipDeterministicAndEdges(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 10)
+	g := NewGossip(0.5)
+	src := grid.C2(5, 5)
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		if g.IsRelay(topo, src, c) != g.IsRelay(topo, src, c) {
+			t.Fatal("coin flip not deterministic")
+		}
+	}
+	if !NewGossip(1).IsRelay(topo, src, grid.C2(1, 1)) {
+		t.Error("p=1 must always relay")
+	}
+	if NewGossip(0).IsRelay(topo, src, grid.C2(1, 1)) {
+		t.Error("p=0 must never relay")
+	}
+	if d := (GossipProtocol{P: 0.5, Jitter: 5}).TxDelay(topo, src, grid.C2(2, 2)); d < 1 || d > 5 {
+		t.Errorf("jitter delay %d", d)
+	}
+	if NewGossip(0.5).Name() != "gossip" {
+		t.Error("name")
+	}
+	if got := NewGossip(0.5).Retransmits(topo, src, src); got != nil {
+		t.Error("gossip should not retransmit")
+	}
+	// The forward fraction tracks p roughly.
+	count := 0
+	for i := 0; i < topo.NumNodes(); i++ {
+		if g.IsRelay(topo, src, topo.At(i)) {
+			count++
+		}
+	}
+	frac := float64(count) / float64(topo.NumNodes())
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("forward fraction %.2f far from p=0.5", frac)
+	}
+}

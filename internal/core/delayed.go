@@ -1,0 +1,77 @@
+package core
+
+import (
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// DelayVariant selects which of the two delay-to-avoid-collision
+// options of Section 3.1 a DelayedMesh4Protocol uses. The paper
+// analyzes both and rejects them in favor of retransmission; ablation
+// A1 reproduces that comparison.
+type DelayVariant int
+
+const (
+	// DelayRows defers the row nodes x = i±(1+3k) one extra slot
+	// (the paper's first option: "it will cause 3 extra time slots
+	// delay and ... duplicated messages").
+	DelayRows DelayVariant = iota
+	// DelayColumns defers the first column relays (i+3k, j±1) one
+	// extra slot (the paper's second option: "an extra time slot delay
+	// and ... more duplicated messages").
+	DelayColumns
+)
+
+// DelayedMesh4Protocol is the 2D-mesh-4-neighbor protocol with the
+// collision-avoidance-by-delay strategy instead of designated
+// retransmissions. Relay selection is identical to Mesh4Protocol.
+type DelayedMesh4Protocol struct {
+	Variant DelayVariant
+	inner   Mesh4Protocol
+}
+
+// NewDelayedMesh4 returns the delay-based 2D-4 variant.
+func NewDelayedMesh4(v DelayVariant) DelayedMesh4Protocol {
+	return DelayedMesh4Protocol{Variant: v}
+}
+
+// Name implements sim.Protocol.
+func (p DelayedMesh4Protocol) Name() string {
+	if p.Variant == DelayRows {
+		return "paper-2d4-delayrows"
+	}
+	return "paper-2d4-delaycols"
+}
+
+// IsRelay implements sim.Protocol (same relay set as Mesh4Protocol).
+func (p DelayedMesh4Protocol) IsRelay(t grid.Topology, src, c grid.Coord) bool {
+	return p.inner.IsRelay(t, src, c)
+}
+
+// TxDelay implements sim.Protocol.
+func (p DelayedMesh4Protocol) TxDelay(t grid.Topology, src, c grid.Coord) int {
+	switch p.Variant {
+	case DelayRows:
+		if c.Y == src.Y {
+			if r := mesh4RowRetransmit(c.X - src.X); r != nil {
+				return 2
+			}
+		}
+	case DelayColumns:
+		// The first column relays, directly above/below the source row.
+		if c.Y == src.Y+1 || c.Y == src.Y-1 {
+			if isMesh4RelayColumn(t, src, c.X) {
+				return 2
+			}
+		}
+	}
+	return 1
+}
+
+// Retransmits implements sim.Protocol: none — that is the point of the
+// delay strategy.
+func (DelayedMesh4Protocol) Retransmits(grid.Topology, grid.Coord, grid.Coord) []int {
+	return nil
+}
+
+var _ sim.Protocol = DelayedMesh4Protocol{}

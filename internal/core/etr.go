@@ -1,0 +1,58 @@
+package core
+
+import "wsnbcast/internal/grid"
+
+// ETR — the efficient transmission ratio of Section 3 — is M/N where N
+// is the transmitter's total number of neighbors and M the number of
+// neighbors that receive a non-duplicated message from the
+// transmission.
+
+// ETR computes the efficient transmission ratio of node tx forwarding
+// the broadcast, given the set of nodes that already hold the message
+// (have decoded or originated it). The returned fraction is
+// fresh-neighbors / all-neighbors of tx.
+func ETR(t grid.Topology, tx grid.Coord, has func(grid.Coord) bool) (m, n int) {
+	var buf []grid.Coord
+	buf = t.Neighbors(tx, buf)
+	n = len(buf)
+	for _, nb := range buf {
+		if !has(nb) {
+			m++
+		}
+	}
+	return m, n
+}
+
+// ForwardETR computes the ETR of the single-hop forward from sender to
+// receiver on an otherwise message-free network: only the sender and
+// its neighborhood hold the message when the receiver forwards. This
+// is the quantity compared in the paper's Fig. 6 (diagonal forward in
+// the 2D mesh with 8 neighbors achieves 5/8; an X-axis forward only
+// 3/8).
+func ForwardETR(t grid.Topology, sender, receiver grid.Coord) (m, n int) {
+	if !t.Connected(sender, receiver) {
+		return 0, t.Degree(receiver)
+	}
+	var covered = map[grid.Coord]bool{sender: true}
+	var buf []grid.Coord
+	for _, nb := range t.Neighbors(sender, buf) {
+		covered[nb] = true
+	}
+	return ETR(t, receiver, func(c grid.Coord) bool { return covered[c] })
+}
+
+// OptimalETR restates Table 1: for any non-source node with N
+// neighbors the best possible ratio is (N-1)/N except where the
+// topology's geometry forces a larger overlap between consecutive
+// neighborhoods, as in the 2D mesh with 8 neighbors (5/8) and the 3D
+// mesh with 6 neighbors (5/6).
+func OptimalETR(k grid.Kind) (num, den int) {
+	return grid.New(k, 3, 3, 3).OptimalETR()
+}
+
+// OptimalM is the numerator of the optimal ETR: the largest number of
+// fresh neighbors a non-source relay can cover per transmission.
+func OptimalM(k grid.Kind) int {
+	num, _ := OptimalETR(k)
+	return num
+}

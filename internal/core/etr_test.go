@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+)
+
+// Fig. 6 of the paper: in the 2D mesh with 8 neighbors, forwarding
+// from (2,3) to the diagonal neighbor (3,2) achieves ETR 5/8, while
+// forwarding from (2,2) to the axis neighbor (3,2) achieves only 3/8.
+func TestFig6ForwardETR(t *testing.T) {
+	topo := grid.NewMesh2D8(6, 6)
+	m, n := ForwardETR(topo, grid.C2(2, 3), grid.C2(3, 2))
+	if m != 5 || n != 8 {
+		t.Errorf("diagonal forward ETR = %d/%d, want 5/8", m, n)
+	}
+	m, n = ForwardETR(topo, grid.C2(2, 2), grid.C2(3, 2))
+	if m != 3 || n != 8 {
+		t.Errorf("axis forward ETR = %d/%d, want 3/8", m, n)
+	}
+}
+
+// Table 1: the optimal ETRs of the four topologies.
+func TestTable1OptimalETR(t *testing.T) {
+	want := map[grid.Kind][2]int{
+		grid.Mesh2D3: {2, 3},
+		grid.Mesh2D4: {3, 4},
+		grid.Mesh2D8: {5, 8},
+		grid.Mesh3D6: {5, 6},
+	}
+	for k, w := range want {
+		num, den := OptimalETR(k)
+		if num != w[0] || den != w[1] {
+			t.Errorf("%v optimal ETR = %d/%d, want %d/%d", k, num, den, w[0], w[1])
+		}
+		if OptimalM(k) != w[0] {
+			t.Errorf("%v OptimalM = %d, want %d", k, OptimalM(k), w[0])
+		}
+	}
+}
+
+// A non-source relay's forward ETR can never exceed the topology's
+// optimal ETR — exhaustive check over all interior forwards.
+func TestForwardETRNeverExceedsOptimal(t *testing.T) {
+	for _, k := range []grid.Kind{grid.Mesh2D3, grid.Mesh2D4, grid.Mesh2D8, grid.Mesh3D6} {
+		topo := grid.New(k, 7, 7, 5)
+		optNum, optDen := topo.OptimalETR()
+		var buf []grid.Coord
+		for i := 0; i < topo.NumNodes(); i++ {
+			sender := topo.At(i)
+			buf = topo.Neighbors(sender, buf[:0])
+			for _, receiver := range buf {
+				if topo.Degree(receiver) != topo.MaxDegree() {
+					continue // the bound is for full-degree nodes
+				}
+				m, n := ForwardETR(topo, sender, receiver)
+				// m/n <= optNum/optDen  <=>  m*optDen <= optNum*n
+				if m*optDen > optNum*n {
+					t.Fatalf("%v: forward %v->%v has ETR %d/%d above optimal %d/%d",
+						k, sender, receiver, m, n, optNum, optDen)
+				}
+			}
+		}
+	}
+}
+
+// Paper claim behind Table 1: the best ETR is achieved by some
+// interior forward in every topology (the optimum is attainable).
+func TestOptimalETRAttainable(t *testing.T) {
+	for _, k := range []grid.Kind{grid.Mesh2D3, grid.Mesh2D4, grid.Mesh2D8, grid.Mesh3D6} {
+		topo := grid.New(k, 9, 9, 5)
+		optNum, optDen := topo.OptimalETR()
+		found := false
+		var buf []grid.Coord
+		for i := 0; i < topo.NumNodes() && !found; i++ {
+			sender := topo.At(i)
+			buf = topo.Neighbors(sender, buf[:0])
+			for _, receiver := range buf {
+				if topo.Degree(receiver) != topo.MaxDegree() {
+					continue
+				}
+				m, n := ForwardETR(topo, sender, receiver)
+				if m*optDen == optNum*n {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%v: optimal ETR %d/%d not attained by any forward", k, optNum, optDen)
+		}
+	}
+}
+
+// ETR with an explicit holder set.
+func TestETRExplicit(t *testing.T) {
+	topo := grid.NewMesh2D4(5, 5)
+	holders := map[grid.Coord]bool{grid.C2(3, 3): true, grid.C2(2, 3): true}
+	m, n := ETR(topo, grid.C2(3, 3), func(c grid.Coord) bool { return holders[c] })
+	if n != 4 || m != 3 {
+		t.Errorf("ETR = %d/%d, want 3/4", m, n)
+	}
+	// Everyone already has it: ETR 0.
+	m, _ = ETR(topo, grid.C2(3, 3), func(grid.Coord) bool { return true })
+	if m != 0 {
+		t.Errorf("saturated ETR numerator = %d, want 0", m)
+	}
+}
+
+// ForwardETR of a non-adjacent pair is zero.
+func TestForwardETRNonAdjacent(t *testing.T) {
+	topo := grid.NewMesh2D4(5, 5)
+	m, _ := ForwardETR(topo, grid.C2(1, 1), grid.C2(3, 3))
+	if m != 0 {
+		t.Errorf("non-adjacent forward ETR numerator = %d, want 0", m)
+	}
+}
+
+// The source itself achieves 100% ETR (all neighbors fresh).
+func TestSourceETRFull(t *testing.T) {
+	topo := grid.NewMesh2D8(5, 5)
+	src := grid.C2(3, 3)
+	m, n := ETR(topo, src, func(c grid.Coord) bool { return c == src })
+	if m != n || n != 8 {
+		t.Errorf("source ETR = %d/%d, want 8/8", m, n)
+	}
+}

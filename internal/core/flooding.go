@@ -1,0 +1,69 @@
+package core
+
+import (
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// FloodingProtocol is the "traditional" broadcast the paper's
+// introduction argues against: almost all nodes forward the message,
+// causing severe collisions ("broadcast storm"). It is the baseline
+// for ablation A2.
+//
+// Two variants are provided:
+//
+//   - blind flooding (Jitter == 0): every node forwards in the slot
+//     after it decodes. On any 2D/3D mesh this collides massively and
+//     only reaches everyone thanks to scheduler repairs;
+//   - jittered flooding (Jitter > 0): every node forwards after a
+//     deterministic pseudo-random delay of 1..Jitter slots, the
+//     classic collision-mitigation that trades delay for reachability.
+//
+// Determinism: the jitter is a hash of the node id, not a random
+// draw, so runs are exactly reproducible.
+type FloodingProtocol struct {
+	// Jitter is the maximum forwarding delay in slots; 0 or 1 means
+	// blind flooding (forward in the next slot).
+	Jitter int
+}
+
+// NewFlooding returns blind flooding.
+func NewFlooding() FloodingProtocol { return FloodingProtocol{} }
+
+// NewJitteredFlooding returns flooding with deterministic jitter of
+// 1..j slots.
+func NewJitteredFlooding(j int) FloodingProtocol { return FloodingProtocol{Jitter: j} }
+
+// Name implements sim.Protocol.
+func (p FloodingProtocol) Name() string {
+	if p.Jitter > 1 {
+		return "flooding-jitter"
+	}
+	return "flooding"
+}
+
+// IsRelay implements sim.Protocol: everyone forwards.
+func (FloodingProtocol) IsRelay(grid.Topology, grid.Coord, grid.Coord) bool { return true }
+
+// TxDelay implements sim.Protocol.
+func (p FloodingProtocol) TxDelay(t grid.Topology, src, c grid.Coord) int {
+	if p.Jitter <= 1 {
+		return 1
+	}
+	return 1 + int(coordHash(c)%uint64(p.Jitter))
+}
+
+// Retransmits implements sim.Protocol.
+func (FloodingProtocol) Retransmits(grid.Topology, grid.Coord, grid.Coord) []int { return nil }
+
+// coordHash is a deterministic 64-bit mix of the coordinate
+// (splitmix64 over the packed coordinates).
+func coordHash(c grid.Coord) uint64 {
+	z := uint64(c.X)<<42 ^ uint64(c.Y)<<21 ^ uint64(c.Z)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+var _ sim.Protocol = FloodingProtocol{}

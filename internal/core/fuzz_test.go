@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+	"wsnbcast/internal/sim"
+)
+
+// Fuzzing the headline invariant: for any mesh size and source
+// position, the paper protocols (with the scheduler's planner) reach
+// 100% of the nodes and produce an internally consistent result.
+
+func clampMesh(m, n uint8, lo int) (int, int) {
+	mm := int(m)%24 + lo
+	nn := int(n)%24 + lo
+	return mm, nn
+}
+
+func clampSrc(sx, sy uint8, m, n int) grid.Coord {
+	return grid.C2(int(sx)%m+1, int(sy)%n+1)
+}
+
+func fuzzReach(t *testing.T, topo grid.Topology, p sim.Protocol, src grid.Coord) {
+	t.Helper()
+	r, err := sim.Run(topo, p, src, sim.Config{})
+	if err != nil {
+		t.Fatalf("%v src %v: %v", topo.Kind(), src, err)
+	}
+	if !r.FullyReached() {
+		t.Fatalf("%v src %v: reached %d/%d", topo.Kind(), src, r.Reached, r.Total)
+	}
+	if err := r.Validate(topo, radio.Default(), radio.CanonicalPacket()); err != nil {
+		t.Fatalf("%v src %v: %v", topo.Kind(), src, err)
+	}
+}
+
+func FuzzMesh4Reachability(f *testing.F) {
+	f.Add(uint8(32), uint8(16), uint8(5), uint8(7))
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(0))
+	f.Add(uint8(3), uint8(20), uint8(2), uint8(19))
+	f.Fuzz(func(t *testing.T, m, n, sx, sy uint8) {
+		mm, nn := clampMesh(m, n, 1)
+		topo := grid.NewMesh2D4(mm, nn)
+		fuzzReach(t, topo, NewMesh4Protocol(), clampSrc(sx, sy, mm, nn))
+	})
+}
+
+func FuzzMesh8Reachability(f *testing.F) {
+	f.Add(uint8(14), uint8(14), uint8(4), uint8(8))
+	f.Add(uint8(2), uint8(2), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, m, n, sx, sy uint8) {
+		mm, nn := clampMesh(m, n, 1)
+		topo := grid.NewMesh2D8(mm, nn)
+		fuzzReach(t, topo, NewMesh8Protocol(), clampSrc(sx, sy, mm, nn))
+	})
+}
+
+func FuzzMesh3Reachability(f *testing.F) {
+	f.Add(uint8(20), uint8(14), uint8(9), uint8(6))
+	f.Add(uint8(2), uint8(2), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, m, n, sx, sy uint8) {
+		mm, nn := clampMesh(m, n, 2) // 1-wide brick walls are disconnected
+		topo := grid.NewMesh2D3(mm, nn)
+		fuzzReach(t, topo, NewMesh3Protocol(), clampSrc(sx, sy, mm, nn))
+	})
+}
+
+func FuzzMesh3D6Reachability(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(8), uint8(3), uint8(3), uint8(3))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, m, n, l, sx, sy, sz uint8) {
+		mm := int(m)%10 + 1
+		nn := int(n)%10 + 1
+		ll := int(l)%6 + 1
+		topo := grid.NewMesh3D6(mm, nn, ll)
+		src := grid.C3(int(sx)%mm+1, int(sy)%nn+1, int(sz)%ll+1)
+		fuzzReach(t, topo, NewMesh3D6Protocol(), src)
+	})
+}
+
+// Fuzz the protocol purity contract: IsRelay/TxDelay/Retransmits are
+// functions of (topology, source, node) only — repeated calls agree.
+func FuzzProtocolPurity(f *testing.F) {
+	f.Add(uint8(10), uint8(8), uint8(3), uint8(3), uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, m, n, sx, sy, cx, cy uint8) {
+		mm, nn := clampMesh(m, n, 2)
+		src := clampSrc(sx, sy, mm, nn)
+		c := clampSrc(cx, cy, mm, nn)
+		for _, k := range grid.Kinds() {
+			topo := grid.New(k, mm, nn, 3)
+			p := ForTopology(k)
+			if p.IsRelay(topo, src, c) != p.IsRelay(topo, src, c) {
+				t.Fatalf("%v: IsRelay not pure", k)
+			}
+			if p.TxDelay(topo, src, c) != p.TxDelay(topo, src, c) {
+				t.Fatalf("%v: TxDelay not pure", k)
+			}
+			a := p.Retransmits(topo, src, c)
+			b := p.Retransmits(topo, src, c)
+			if len(a) != len(b) {
+				t.Fatalf("%v: Retransmits not pure", k)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: Retransmits not pure", k)
+				}
+				if a[i] < 1 {
+					t.Fatalf("%v: retransmit offset %d < 1", k, a[i])
+				}
+			}
+			if d := p.TxDelay(topo, src, c); d < 1 {
+				t.Fatalf("%v: TxDelay %d < 1", k, d)
+			}
+		}
+	})
+}

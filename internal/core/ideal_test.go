@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+)
+
+// Table 2 of the paper, reproduced exactly: ideal-case Tx, Rx and
+// power for the canonical 512-node networks.
+func TestTable2IdealExact(t *testing.T) {
+	want := map[grid.Kind]struct {
+		tx, rx int
+		powerJ float64
+	}{
+		grid.Mesh2D3: {255, 765, 2.61e-2},
+		grid.Mesh2D4: {170, 680, 2.18e-2},
+		grid.Mesh2D8: {102, 816, 2.35e-2},
+		grid.Mesh3D6: {124, 744, 2.22e-2},
+	}
+	for k, w := range want {
+		ideal := IdealCase(grid.Canonical(k), radio.Default(), radio.CanonicalPacket())
+		if ideal.Tx != w.tx {
+			t.Errorf("%v ideal Tx = %d, paper %d", k, ideal.Tx, w.tx)
+		}
+		if ideal.Rx != w.rx {
+			t.Errorf("%v ideal Rx = %d, paper %d", k, ideal.Rx, w.rx)
+		}
+		if math.Abs(ideal.EnergyJ-w.powerJ) > 0.005e-2 {
+			t.Errorf("%v ideal power = %.4e J, paper %.2e", k, ideal.EnergyJ, w.powerJ)
+		}
+	}
+}
+
+// Table 5's ideal max delays follow from the hop diameters: 2D-4 has
+// diameter 46 on 32x16 (delay 45, matching the paper); 3D-6 diameter
+// 21 (delay 20, matching). The 2D-8 Chebyshev diameter is 31 (delay
+// 30; the paper reports 31 — see EXPERIMENTS.md).
+func TestIdealDelays(t *testing.T) {
+	cases := map[grid.Kind]int{
+		grid.Mesh2D4: 45,
+		grid.Mesh3D6: 20,
+		grid.Mesh2D8: 30,
+		// The 32x16 brick wall has hop diameter 46, so the ideal delay
+		// is 45 under our slot convention; the paper reports 46 (off by
+		// one, see EXPERIMENTS.md).
+		grid.Mesh2D3: 45,
+	}
+	for k, want := range cases {
+		ideal := IdealCase(grid.Canonical(k), radio.Default(), radio.CanonicalPacket())
+		if ideal.MaxDelay != want {
+			t.Errorf("%v ideal max delay = %d, want %d", k, ideal.MaxDelay, want)
+		}
+	}
+}
+
+func TestDiameterSmallMeshes(t *testing.T) {
+	if d := Diameter(grid.NewMesh2D4(4, 3)); d != 5 {
+		t.Errorf("2D-4 4x3 diameter = %d, want 5", d)
+	}
+	if d := Diameter(grid.NewMesh2D8(4, 3)); d != 3 {
+		t.Errorf("2D-8 4x3 diameter = %d, want 3", d)
+	}
+	if d := Diameter(grid.NewMesh3D6(2, 2, 2)); d != 3 {
+		t.Errorf("3D-6 2x2x2 diameter = %d, want 3", d)
+	}
+	if d := Diameter(grid.NewMesh2D4(1, 1)); d != 0 {
+		t.Errorf("singleton diameter = %d, want 0", d)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	topo := grid.NewMesh2D4(5, 5)
+	if e := Eccentricity(topo, grid.C2(3, 3)); e != 4 {
+		t.Errorf("center eccentricity = %d, want 4", e)
+	}
+	if e := Eccentricity(topo, grid.C2(1, 1)); e != 8 {
+		t.Errorf("corner eccentricity = %d, want 8", e)
+	}
+	if e := Eccentricity(topo, grid.C2(9, 9)); e != -1 {
+		t.Errorf("out-of-mesh eccentricity = %d, want -1", e)
+	}
+	// Diameter is the max eccentricity.
+	maxEcc := 0
+	for i := 0; i < topo.NumNodes(); i++ {
+		if e := Eccentricity(topo, topo.At(i)); e > maxEcc {
+			maxEcc = e
+		}
+	}
+	if d := Diameter(topo); d != maxEcc {
+		t.Errorf("diameter %d != max eccentricity %d", d, maxEcc)
+	}
+}
+
+// IdealTx edge cases.
+func TestIdealTxEdges(t *testing.T) {
+	if tx := IdealTx(grid.NewMesh2D4(1, 1)); tx != 1 {
+		t.Errorf("singleton ideal Tx = %d", tx)
+	}
+	// A 2x2 mesh: the ideal model assumes nominal (interior) degrees,
+	// exactly as the paper's Table 2 does, so a single transmission
+	// nominally suffices for the 3 other nodes.
+	if tx := IdealTx(grid.NewMesh2D4(2, 2)); tx != 1 {
+		t.Errorf("2x2 ideal Tx = %d, want 1", tx)
+	}
+	// A star-like tiny mesh where one transmission suffices.
+	if tx := IdealTx(grid.NewMesh2D8(2, 2)); tx != 1 {
+		t.Errorf("2D-8 2x2 ideal Tx = %d, want 1", tx)
+	}
+}
+
+// The ideal case must lower-bound the measured protocols on the
+// canonical networks for both Tx and energy.
+func TestIdealIsLowerBound(t *testing.T) {
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		ideal := IdealCase(topo, radio.Default(), radio.CanonicalPacket())
+		st := sweepAll(t, topo, ForTopology(k))
+		if st.minTx < ideal.Tx {
+			t.Errorf("%v: measured best Tx %d below ideal %d", k, st.minTx, ideal.Tx)
+		}
+	}
+}
+
+func TestEfficiencyGap(t *testing.T) {
+	if g := EfficiencyGap(1.08, 1.0); math.Abs(g-0.08) > 1e-12 {
+		t.Errorf("gap = %g, want 0.08", g)
+	}
+	if g := EfficiencyGap(1, 0); !math.IsInf(g, 1) {
+		t.Errorf("gap with zero ideal = %g, want +Inf", g)
+	}
+}
+
+func TestLowerBoundEnergy(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	if got, want := LowerBoundEnergyJ(topo, radio.Default(), radio.CanonicalPacket()),
+		IdealCase(topo, radio.Default(), radio.CanonicalPacket()).EnergyJ; got != want {
+		t.Errorf("LowerBoundEnergyJ = %g, want %g", got, want)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{{10, 5, 2}, {11, 5, 3}, {1, 5, 1}, {0, 5, 0}}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

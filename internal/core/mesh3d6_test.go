@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Rule R5: if (x, y, z) is a z-relay then so are (x, y, w),
+// (x-2, y-1, w), (x-1, y+2, w), (x+1, y-2, w), (x+2, y+1, w).
+func TestR5OffsetsGenerateLattice(t *testing.T) {
+	src := grid.C3(6, 8, 4)
+	offsets := [][2]int{{0, 0}, {-2, -1}, {-1, 2}, {1, -2}, {2, 1}}
+	// Start from the source (a z-relay by definition) and expand by R5;
+	// everything generated must satisfy the lattice predicate and vice
+	// versa on a bounded window.
+	seen := map[[2]int]bool{{src.X, src.Y}: true}
+	frontier := [][2]int{{src.X, src.Y}}
+	for len(frontier) > 0 {
+		var next [][2]int
+		for _, f := range frontier {
+			for _, o := range offsets {
+				p := [2]int{f[0] + o[0], f[1] + o[1]}
+				if p[0] < -10 || p[0] > 20 || p[1] < -10 || p[1] > 20 || seen[p] {
+					continue
+				}
+				seen[p] = true
+				next = append(next, p)
+			}
+		}
+		frontier = next
+	}
+	for x := -10; x <= 20; x++ {
+		for y := -10; y <= 20; y++ {
+			want := IsZRelayColumn(src, grid.C2(x, y))
+			got := seen[[2]int{x, y}]
+			// Interior of the window only (border effects of the BFS).
+			if x > -6 && x < 16 && y > -6 && y < 16 && want != got {
+				t.Fatalf("(%d,%d): lattice=%v, R5 closure=%v", x, y, want, got)
+			}
+		}
+	}
+}
+
+// The paper's Fig. 9 example: source (6,8,k); nodes (4,7), (5,10),
+// (7,6), (8,9) are z-relays.
+func TestFig9ZRelays(t *testing.T) {
+	src := grid.C3(6, 8, 4)
+	for _, c := range []grid.Coord{grid.C2(4, 7), grid.C2(5, 10), grid.C2(7, 6), grid.C2(8, 9)} {
+		if !IsZRelayColumn(src, c) {
+			t.Errorf("%v should be a z-relay column", c)
+		}
+	}
+	if !IsZRelayColumn(src, grid.C2(6, 8)) {
+		t.Error("the source must be a z-relay")
+	}
+	if IsZRelayColumn(src, grid.C2(6, 9)) {
+		t.Error("(6,9) must not be a z-relay")
+	}
+}
+
+// The z-relay lattice tiles every plane: each cell is either a lattice
+// point or 4-adjacent to exactly one.
+func TestLatticePerfectCode(t *testing.T) {
+	src := grid.C3(5, 5, 1)
+	for x := -20; x <= 20; x++ {
+		for y := -20; y <= 20; y++ {
+			count := 0
+			for _, d := range [][2]int{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				if IsZRelayColumn(src, grid.C2(x+d[0], y+d[1])) {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("(%d,%d): %d lattice points in closed neighborhood, want exactly 1", x, y, count)
+			}
+		}
+	}
+}
+
+// Border z-columns are exactly the cells whose covering lattice point
+// is outside the grid.
+func TestBorderZColumns(t *testing.T) {
+	topo := grid.NewMesh3D6(8, 8, 8)
+	src := grid.C3(1, 1, 1)
+	borders := 0
+	for x := 1; x <= 8; x++ {
+		for y := 1; y <= 8; y++ {
+			c := grid.C2(x, y)
+			if IsBorderZColumn(topo, src, c) {
+				borders++
+				if IsZRelayColumn(src, c) {
+					t.Errorf("%v is both lattice and border column", c)
+				}
+				// Interior cells can never be border columns.
+				if x > 1 && x < 8 && y > 1 && y < 8 {
+					t.Errorf("interior cell %v marked as border column", c)
+				}
+			}
+		}
+	}
+	if borders == 0 {
+		t.Error("an 8x8 plane should have border columns")
+	}
+	if borders > 12 {
+		t.Errorf("%d border columns, too many", borders)
+	}
+}
+
+// The source's neighbors' designated retransmissions (Section 3.4):
+// (i±1, j, k) one slot later, (i, j, k±1) two slots later.
+func TestMesh3D6SourceNeighborRetransmits(t *testing.T) {
+	topo := grid.NewMesh3D6(8, 8, 8)
+	src := grid.C3(4, 4, 4)
+	p := NewMesh3D6Protocol()
+	for _, tc := range []struct {
+		c    grid.Coord
+		want int
+	}{
+		{grid.C3(3, 4, 4), 1},
+		{grid.C3(5, 4, 4), 1},
+		{grid.C3(4, 4, 3), 2},
+		{grid.C3(4, 4, 5), 2},
+	} {
+		got := p.Retransmits(topo, src, tc.c)
+		if len(got) != 1 || got[0] != tc.want {
+			t.Errorf("Retransmits(%v) = %v, want [%d]", tc.c, got, tc.want)
+		}
+	}
+}
+
+// The canonical 8x8x8 broadcast: full reachability, delay close to the
+// paper's 20, and the 3D protocol beats the per-plane strawman on
+// energy (Section 3.4's claim).
+func TestMesh3D6BeatsPerPlane(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh3D6)
+	src := grid.C3(6, 8, 4)
+	if !topo.Contains(src) {
+		src = grid.C3(6, 8, 4)
+	}
+	src = grid.C3(4, 4, 4)
+	smart, err := sim.Run(topo, NewMesh3D6Protocol(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := sim.Run(topo, NewPerPlane3D(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smart.FullyReached() || !naive.FullyReached() {
+		t.Fatalf("reachability: smart %d/%d, naive %d/%d",
+			smart.Reached, smart.Total, naive.Reached, naive.Total)
+	}
+	if smart.EnergyJ >= naive.EnergyJ {
+		t.Errorf("z-relay protocol energy %.3e not better than per-plane %.3e",
+			smart.EnergyJ, naive.EnergyJ)
+	}
+	if smart.Tx >= naive.Tx {
+		t.Errorf("z-relay Tx %d not better than per-plane %d", smart.Tx, naive.Tx)
+	}
+}
+
+// In non-source planes only z-columns transmit.
+func TestMesh3D6OnlyColumnsBeyondSourcePlane(t *testing.T) {
+	topo := grid.NewMesh3D6(8, 8, 4)
+	src := grid.C3(3, 5, 2)
+	r, err := sim.Run(topo, NewMesh3D6Protocol(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, slots := range r.TxSlots {
+		if len(slots) == 0 {
+			continue
+		}
+		c := topo.At(i)
+		if c.Z == src.Z || r.Repairs > 0 {
+			continue
+		}
+		if !IsZRelayColumn(src, c) && !IsBorderZColumn(topo, src, c) {
+			t.Errorf("non-column node %v transmitted outside the source plane", c)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Fig. 5 of the paper: a 16x16 mesh with source (6,8). The designated
+// retransmitters (the gray nodes) are exactly (2,8), (5,8), (7,8),
+// (10,8), (13,8) and (16,8).
+func TestMesh4Fig5Retransmitters(t *testing.T) {
+	topo := grid.NewMesh2D4(16, 16)
+	src := grid.C2(6, 8)
+	p := NewMesh4Protocol()
+	want := map[grid.Coord]bool{
+		grid.C2(2, 8): true, grid.C2(5, 8): true, grid.C2(7, 8): true,
+		grid.C2(10, 8): true, grid.C2(13, 8): true, grid.C2(16, 8): true,
+	}
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		offsets := p.Retransmits(topo, src, c)
+		if want[c] {
+			if len(offsets) != 1 || offsets[0] != 1 {
+				t.Errorf("%v: Retransmits = %v, want [1]", c, offsets)
+			}
+		} else if len(offsets) != 0 {
+			t.Errorf("%v: unexpected retransmit %v", c, offsets)
+		}
+	}
+}
+
+// Fig. 5's relay structure: row 8 entirely, columns {3,6,9,12,15}
+// entirely, plus the border column 1 (the leftmost regular relay
+// column is 3).
+func TestMesh4Fig5RelaySet(t *testing.T) {
+	topo := grid.NewMesh2D4(16, 16)
+	src := grid.C2(6, 8)
+	p := NewMesh4Protocol()
+	relayCols := map[int]bool{3: true, 6: true, 9: true, 12: true, 15: true, 1: true}
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		want := c.Y == 8 || relayCols[c.X]
+		if got := p.IsRelay(topo, src, c); got != want {
+			t.Errorf("IsRelay(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+// The Fig. 5 broadcast must complete with zero collisions left
+// unresolved and no planner repairs.
+func TestMesh4Fig5Broadcast(t *testing.T) {
+	topo := grid.NewMesh2D4(16, 16)
+	r, err := sim.Run(topo, NewMesh4Protocol(), grid.C2(6, 8), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullyReached() {
+		t.Fatalf("reached %d/%d", r.Reached, r.Total)
+	}
+	if r.Repairs != 0 {
+		t.Errorf("Repairs = %d, want 0", r.Repairs)
+	}
+	// The six gray nodes transmit twice; everyone else at most once.
+	if got := len(r.RetransmitNodes()); got != 6 {
+		t.Errorf("%d nodes retransmitted, want 6", got)
+	}
+	if r.Collisions == 0 {
+		t.Error("expected collisions (the paper's protocol collides and retransmits)")
+	}
+}
+
+// Border rule cases: leftmost relay column 1, 2 and 3 (source column
+// i = 1, 2, 3 mod 3).
+func TestMesh4BorderColumns(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 6)
+	p := NewMesh4Protocol()
+	cases := []struct {
+		srcX int
+		col1 bool // is column 1 a relay column
+		colM bool // is column m=10 a relay column
+	}{
+		{1, true, true},   // columns 1,4,7,10
+		{2, false, false}, // columns 2,5,8 -> col 1 via col 2, col 10 via... 10-8=2 -> border!
+		{3, true, false},  // columns 3,6,9 -> border col 1; col 10 via 9
+	}
+	// Correction for srcX=2: c_max = 8, m-c_max = 2 -> column 10 relays.
+	cases[1].colM = true
+	for _, tc := range cases {
+		src := grid.C2(tc.srcX, 3)
+		got1 := p.IsRelay(topo, src, grid.C2(1, 5))
+		gotM := p.IsRelay(topo, src, grid.C2(10, 5))
+		if got1 != tc.col1 {
+			t.Errorf("src x=%d: column 1 relay = %v, want %v", tc.srcX, got1, tc.col1)
+		}
+		if gotM != tc.colM {
+			t.Errorf("src x=%d: column 10 relay = %v, want %v", tc.srcX, gotM, tc.colM)
+		}
+	}
+}
+
+// Most relays must achieve the optimal ETR of 3/4: verify that the
+// average fresh-coverage per transmission is close to 3.
+func TestMesh4ETREfficiency(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	r, err := sim.Run(topo, NewMesh4Protocol(), grid.C2(16, 8), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh coverage per transmission = (nodes reached - 1) / Tx.
+	perTx := float64(r.Reached-1) / float64(r.Tx)
+	if perTx < 2.3 {
+		t.Errorf("fresh nodes per transmission = %.2f, want near the optimal 3", perTx)
+	}
+}
+
+// A single-row network degenerates to a simple pipeline.
+func TestMesh4SingleRow(t *testing.T) {
+	topo := grid.NewMesh2D4(12, 1)
+	r, err := sim.Run(topo, NewMesh4Protocol(), grid.C2(4, 1), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullyReached() || r.Tx != 12 || r.Repairs != 0 {
+		t.Errorf("unexpected: %v", r)
+	}
+}
+
+// In a single-column network the (only) column must relay.
+func TestMesh4SingleColumn(t *testing.T) {
+	topo := grid.NewMesh2D4(1, 12)
+	r, err := sim.Run(topo, NewMesh4Protocol(), grid.C2(1, 5), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullyReached() {
+		t.Errorf("unexpected: %v", r)
+	}
+}

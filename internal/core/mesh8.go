@@ -1,0 +1,211 @@
+package core
+
+import "wsnbcast/internal/grid"
+
+// Mesh8Protocol is the broadcasting protocol for the 2D mesh with 8
+// neighbors (Section 3.2, Figs. 6-7).
+//
+// Forwarding along the diagonals both halves the hop count and raises
+// the ETR to the optimal 5/8 (Fig. 6). The relay set is:
+//
+//   - the basic diagonals S1(i+j) and S2(i-j) through the source;
+//   - every S2 line spaced five apart: S2(i-j+5k). Each line's
+//     transmissions cover the two diagonals on either side, so the
+//     spacing tiles the mesh exactly;
+//   - border handling (interpretation, see DESIGN.md): segments of the
+//     border continuing past the two endpoints of the basic S1
+//     diagonal, which seed the S2 lines the (clipped) diagonal cannot
+//     reach; and one border node past each endpoint of every S2 line
+//     ("line-end extensions"), covering the border nodes whose
+//     covering line node would fall outside the mesh.
+//
+// Collision handling: of the source's four diagonal neighbors that
+// forward simultaneously, (i+1, j-1) and (i-1, j+1) retransmit one
+// slot later (the paper designates (i+1, j-1); the opposite corner is
+// the symmetric case). The interference two line chains produce where
+// they brush past each other resolves itself (the paper's
+// (i+3, j-3)/(i+3, j-2) example): the next nodes of both chains cover
+// the collided receivers one slot later.
+type Mesh8Protocol struct{}
+
+// NewMesh8Protocol returns the paper's 2D-mesh-8-neighbor protocol.
+func NewMesh8Protocol() Mesh8Protocol { return Mesh8Protocol{} }
+
+// Name implements sim.Protocol.
+func (Mesh8Protocol) Name() string { return "paper-2d8" }
+
+// IsRelay implements sim.Protocol.
+func (Mesh8Protocol) IsRelay(t grid.Topology, src, c grid.Coord) bool {
+	m, n, _ := t.Size()
+	c1 := src.S1()
+	base := src.S2()
+	if c.S1() == c1 {
+		return true // basic S1 diagonal
+	}
+	if mod(c.S2()-base, 5) == 0 {
+		return true // S2 relay lines every 5 diagonals
+	}
+
+	// Endpoints of the basic S1 diagonal inside the mesh.
+	xA, yA := c1-n, n // top-left endpoint
+	if xA < 1 {
+		xA, yA = 1, c1-1
+	}
+	xB, yB := c1-1, 1 // bottom-right endpoint
+	if xB > m {
+		xB, yB = m, c1-m
+	}
+	// Border seeding segments past the endpoints.
+	if yA == n && c.Y == n && c.X <= xA {
+		return true
+	}
+	if xA == 1 && c.X == 1 && c.Y >= yA {
+		return true
+	}
+	if yB == 1 && c.Y == 1 && c.X >= xB {
+		return true
+	}
+	if xB == m && c.X == m && c.Y <= yB {
+		return true
+	}
+
+	return isMesh8Extension(t, src, c)
+}
+
+// isMesh8Extension reports whether c is a line-end extension: the
+// border node one step past an S2 relay line's endpoint along the
+// border. Extensions cover the border nodes whose covering line node
+// would fall outside the mesh.
+func isMesh8Extension(t grid.Topology, src, c grid.Coord) bool {
+	m, n, _ := t.Size()
+	base := src.S2()
+	onLine := func(x, y int) bool { return mod(x-y-base, 5) == 0 }
+	if c.X == 1 && c.Y < n && onLine(1, c.Y+1) {
+		return true
+	}
+	if c.Y == n && c.X > 1 && onLine(c.X-1, n) {
+		return true
+	}
+	if c.X == m && c.Y > 1 && onLine(m, c.Y-1) {
+		return true
+	}
+	if c.Y == 1 && c.X < m && onLine(c.X+1, 1) {
+		return true
+	}
+	return false
+}
+
+// TxDelay implements sim.Protocol: pure line-end extensions forward
+// two slots after decoding so they stay off-phase with the line chains
+// and designated retransmissions around them (a pure extension serves
+// only its two border neighbors, so the extra slot costs nothing
+// globally). Nodes that are part of a diagonal or border-segment chain
+// keep the one-slot forward even if they also qualify as extensions —
+// delaying them would slow the whole chain.
+func (Mesh8Protocol) TxDelay(t grid.Topology, src, c grid.Coord) int {
+	if isMesh8Extension(t, src, c) && !isMesh8Chain(t, src, c) {
+		return 2
+	}
+	return 1
+}
+
+// isMesh8Chain reports whether c belongs to one of the propagation
+// chains: the basic S1 diagonal, an S2 relay line, or a border seeding
+// segment.
+func isMesh8Chain(t grid.Topology, src, c grid.Coord) bool {
+	m, n, _ := t.Size()
+	c1 := src.S1()
+	if c.S1() == c1 || mod(c.S2()-src.S2(), 5) == 0 {
+		return true
+	}
+	xA, yA := c1-n, n
+	if xA < 1 {
+		xA, yA = 1, c1-1
+	}
+	xB, yB := c1-1, 1
+	if xB > m {
+		xB, yB = m, c1-m
+	}
+	if yA == n && c.Y == n && c.X <= xA {
+		return true
+	}
+	if xA == 1 && c.X == 1 && c.Y >= yA {
+		return true
+	}
+	if yB == 1 && c.Y == 1 && c.X >= xB {
+		return true
+	}
+	if xB == m && c.X == m && c.Y <= yB {
+		return true
+	}
+	return false
+}
+
+// Retransmits implements sim.Protocol. The designated retransmitters
+// (the paper's gray nodes) are:
+//
+//   - the source's diagonal neighbors (i+1, j-1) and (i-1, j+1), whose
+//     first transmissions collide at (i±2, j) and (i, j∓2)
+//     (Section 3.2's stated rule plus its mirror);
+//   - the border-segment node one step past each crossing with an S2
+//     relay line: the segment node and the line node decode together
+//     and their simultaneous forwards collide at the next segment
+//     node, which would sever the segment (and everything it seeds);
+//   - the two endpoints of the basic S1 diagonal, whose tails run
+//     diagonal-adjacent to an S2 line and collide at the border node
+//     straight past the endpoint.
+//
+// Each retransmits one slot after its first transmission.
+func (Mesh8Protocol) Retransmits(t grid.Topology, src, c grid.Coord) []int {
+	m, n, _ := t.Size()
+	c1 := src.S1()
+	base := src.S2()
+	onLine := func(x, y int) bool { return mod(x-y-base, 5) == 0 }
+
+	xA, yA := c1-n, n
+	if xA < 1 {
+		xA, yA = 1, c1-1
+	}
+	xB, yB := c1-1, 1
+	if xB > m {
+		xB, yB = m, c1-m
+	}
+	// S1 endpoints retransmit two slots after their first transmission:
+	// offset 1 would land in the same slot as the border segment's
+	// first forward and re-collide at the node straight past the
+	// endpoint. This rule takes precedence over the source-diagonal
+	// rule when the endpoint sits next to the source.
+	if (c.X == xA && c.Y == yA) || (c.X == xB && c.Y == yB) {
+		return []int{2}
+	}
+	dx, dy := c.X-src.X, c.Y-src.Y
+	if (dx == 1 && dy == -1) || (dx == -1 && dy == 1) {
+		return []int{1}
+	}
+	// S1 node one past a lattice crossing with an S2 line (away from
+	// the source): the crossing spawns three outgoing chains that
+	// forward simultaneously and collide at the node straight ahead of
+	// the S1 continuation; its retransmission covers all victims.
+	if c.S1() == c1 {
+		if dx >= 2 && onLine(c.X-1, c.Y+1) {
+			return []int{1}
+		}
+		if dx <= -2 && onLine(c.X+1, c.Y-1) {
+			return []int{1}
+		}
+	}
+	// Segment nodes one past a line crossing, per border.
+	if yB == 1 && c.Y == 1 && c.X > xB && onLine(c.X-1, 1) {
+		return []int{1}
+	}
+	if yA == n && c.Y == n && c.X < xA && onLine(c.X+1, n) {
+		return []int{1}
+	}
+	if xA == 1 && c.X == 1 && c.Y > yA && onLine(1, c.Y-1) {
+		return []int{1}
+	}
+	if xB == m && c.X == m && c.Y < yB && onLine(m, c.Y+1) {
+		return []int{1}
+	}
+	return nil
+}

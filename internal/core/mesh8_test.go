@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Fig. 7 of the paper: a 14x14 mesh (196 nodes) with source (5,9).
+// The relay lines are S1(14) and S2(1), S2(6), S2(11), S2(-4), S2(-9).
+func TestMesh8Fig7RelayLines(t *testing.T) {
+	topo := grid.NewMesh2D8(14, 14)
+	src := grid.C2(5, 9)
+	p := NewMesh8Protocol()
+	wantS2 := map[int]bool{1: true, 6: true, 11: true, -4: true, -9: true}
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		if c.S1() == 14 || wantS2[c.S2()] {
+			if !p.IsRelay(topo, src, c) {
+				t.Errorf("%v on a paper relay line but not a relay", c)
+			}
+		}
+		// Conversely, interior nodes off every line must not relay.
+		if c.X > 1 && c.X < 14 && c.Y > 1 && c.Y < 14 &&
+			c.S1() != 14 && !wantS2[c.S2()] && p.IsRelay(topo, src, c) {
+			t.Errorf("interior node %v relays but is on no relay line", c)
+		}
+	}
+}
+
+// The Fig. 7 broadcast completes with 100% reachability, no planner
+// repairs, and only a handful of designated retransmitters (the paper
+// reports 3 gray nodes among 196).
+func TestMesh8Fig7Broadcast(t *testing.T) {
+	topo := grid.NewMesh2D8(14, 14)
+	r, err := sim.Run(topo, NewMesh8Protocol(), grid.C2(5, 9), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullyReached() {
+		t.Fatalf("reached %d/%d", r.Reached, r.Total)
+	}
+	if r.Repairs != 0 {
+		t.Errorf("Repairs = %d, want 0", r.Repairs)
+	}
+	if got := len(r.RetransmitNodes()); got > 6 {
+		t.Errorf("%d retransmitters, paper reports 3 — ours must stay comparable", got)
+	}
+}
+
+// The paper's stated designated retransmitter: when (i+1, j+1) and
+// (i+1, j-1) forward simultaneously they collide at (i+2, j), so
+// (i+1, j-1) retransmits; (i-1, j+1) is the symmetric case.
+func TestMesh8SourceDiagonalRetransmitters(t *testing.T) {
+	topo := grid.NewMesh2D8(14, 14)
+	src := grid.C2(7, 7)
+	p := NewMesh8Protocol()
+	if got := p.Retransmits(topo, src, grid.C2(8, 6)); len(got) != 1 {
+		t.Errorf("(i+1,j-1) retransmits = %v", got)
+	}
+	if got := p.Retransmits(topo, src, grid.C2(6, 8)); len(got) != 1 {
+		t.Errorf("(i-1,j+1) retransmits = %v", got)
+	}
+	if got := p.Retransmits(topo, src, grid.C2(8, 8)); len(got) != 0 {
+		t.Errorf("(i+1,j+1) must not retransmit, got %v", got)
+	}
+}
+
+// The paper's no-retransmission case: chains brushing at (i+3, j-3)
+// and (i+3, j-2) self-resolve — the victims decode one slot later from
+// the next chain nodes. Verified behaviorally: the Fig. 7 run decodes
+// (i+4, j-3) and (i+4, j-2) without any retransmission by (i+3, j-3)
+// or (i+3, j-2).
+func TestMesh8SelfResolvingCollision(t *testing.T) {
+	topo := grid.NewMesh2D8(14, 14)
+	src := grid.C2(5, 9)
+	p := NewMesh8Protocol()
+	for _, c := range []grid.Coord{grid.C2(8, 6), grid.C2(8, 7)} {
+		if got := p.Retransmits(topo, src, c); len(got) != 0 {
+			t.Errorf("%v should not be designated (self-resolving case), got %v", c, got)
+		}
+	}
+	r, err := sim.Run(topo, p, src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []grid.Coord{grid.C2(9, 6), grid.C2(9, 7)} {
+		if r.DecodeSlot[topo.Index(c)] < 0 {
+			t.Errorf("%v never decoded", c)
+		}
+	}
+}
+
+// Diagonal forwarding must deliver a strictly shorter worst-case delay
+// than axis forwarding on the same topology (the Fig. 6 argument at
+// network scale).
+func TestMesh8DiagonalBeatsAxisDelay(t *testing.T) {
+	topo := grid.Canonical(grid.Mesh2D8)
+	src := grid.C2(1, 1)
+	diag, err := sim.Run(topo, NewMesh8Protocol(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis, err := sim.Run(topo, NewMesh8Axis(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Delay >= axis.Delay {
+		t.Errorf("diagonal delay %d not better than axis delay %d", diag.Delay, axis.Delay)
+	}
+	if diag.EnergyJ >= axis.EnergyJ {
+		t.Errorf("diagonal energy %.3e not better than axis %.3e", diag.EnergyJ, axis.EnergyJ)
+	}
+}
+
+// The S2 relay lines are spaced exactly five diagonals apart
+// (coverage tiling): every node is within Chebyshev distance 1 of a
+// point whose S2 index is on a line.
+func TestMesh8LineSpacingCoverage(t *testing.T) {
+	topo := grid.NewMesh2D8(20, 20)
+	src := grid.C2(9, 11)
+	base := src.S2()
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		d := mod(c.S2()-base, 5)
+		if d > 2 {
+			d = 5 - d
+		}
+		if d > 2 {
+			t.Fatalf("node %v is %d diagonals from the nearest relay line", c, d)
+		}
+	}
+}

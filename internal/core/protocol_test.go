@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+	"wsnbcast/internal/sim"
+)
+
+// sweepStats aggregates a full source sweep of one protocol on one
+// topology.
+type sweepStats struct {
+	runs                 int
+	totalRepairs         int
+	maxRepairs           int
+	minTx, maxTx         int
+	maxDelay             int
+	sourcesNeedingRepair int
+}
+
+// sweepAll runs proto from every source and asserts the paper's
+// headline invariant: 100% reachability. Every result is also
+// validated against the engine's consistency contract.
+func sweepAll(t *testing.T, topo grid.Topology, proto sim.Protocol) sweepStats {
+	t.Helper()
+	st := sweepStats{minTx: 1 << 30}
+	for i := 0; i < topo.NumNodes(); i++ {
+		src := topo.At(i)
+		r, err := sim.Run(topo, proto, src, sim.Config{})
+		if err != nil {
+			t.Fatalf("%s src %v: %v", proto.Name(), src, err)
+		}
+		if !r.FullyReached() {
+			t.Fatalf("%s src %v: reached %d/%d", proto.Name(), src, r.Reached, r.Total)
+		}
+		if err := r.Validate(topo, radio.Default(), radio.CanonicalPacket()); err != nil {
+			t.Fatalf("%s src %v: %v", proto.Name(), src, err)
+		}
+		st.runs++
+		st.totalRepairs += r.Repairs
+		if r.Repairs > st.maxRepairs {
+			st.maxRepairs = r.Repairs
+		}
+		if r.Repairs > 0 {
+			st.sourcesNeedingRepair++
+		}
+		if r.Tx < st.minTx {
+			st.minTx = r.Tx
+		}
+		if r.Tx > st.maxTx {
+			st.maxTx = r.Tx
+		}
+		if r.Delay > st.maxDelay {
+			st.maxDelay = r.Delay
+		}
+	}
+	return st
+}
+
+// The paper's protocols must reach every node from every source on the
+// canonical 512-node networks — and their designated retransmissions
+// must carry almost all of the collision handling themselves (the
+// scheduler's planner patches at most a handful of cases).
+func TestPaperProtocolsCanonicalReachability(t *testing.T) {
+	cases := []struct {
+		topo            grid.Topology
+		proto           sim.Protocol
+		maxTotalRepairs int // across the whole sweep
+	}{
+		{grid.Canonical(grid.Mesh2D3), NewMesh3Protocol(), 32},
+		{grid.Canonical(grid.Mesh2D4), NewMesh4Protocol(), 0},
+		{grid.Canonical(grid.Mesh2D8), NewMesh8Protocol(), 0},
+		{grid.Canonical(grid.Mesh3D6), NewMesh3D6Protocol(), 600},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.proto.Name(), func(t *testing.T) {
+			t.Parallel()
+			st := sweepAll(t, tc.topo, tc.proto)
+			if st.totalRepairs > tc.maxTotalRepairs {
+				t.Errorf("%s: %d planner repairs across sweep, budget %d",
+					tc.proto.Name(), st.totalRepairs, tc.maxTotalRepairs)
+			}
+			t.Logf("%s: tx=[%d..%d] maxDelay=%d repairs=%d (srcs=%d, max=%d)",
+				tc.proto.Name(), st.minTx, st.maxTx, st.maxDelay,
+				st.totalRepairs, st.sourcesNeedingRepair, st.maxRepairs)
+		})
+	}
+}
+
+// Reachability must hold on odd shapes too: thin, tall, tiny meshes.
+func TestPaperProtocolsOddSizes(t *testing.T) {
+	t.Parallel()
+	for _, size := range [][3]int{{2, 2, 1}, {3, 7, 1}, {12, 3, 1}, {5, 5, 1}, {16, 2, 1}, {2, 16, 1}} {
+		for _, k := range []grid.Kind{grid.Mesh2D3, grid.Mesh2D4, grid.Mesh2D8} {
+			if k == grid.Mesh2D3 && size[0] == 1 {
+				continue // 1-wide brick wall is disconnected
+			}
+			sweepAll(t, grid.New(k, size[0], size[1], 1), ForTopology(k))
+		}
+	}
+	for _, size := range [][3]int{{2, 2, 2}, {3, 4, 5}, {6, 2, 3}, {8, 8, 2}, {2, 2, 8}} {
+		sweepAll(t, grid.NewMesh3D6(size[0], size[1], size[2]), NewMesh3D6Protocol())
+	}
+}
+
+// The paper's Table 3/4 values for the 2D mesh with 4 neighbors are
+// reproduced exactly: best case Tx=208, worst case Tx=223 over all
+// source positions of the 32x16 mesh, and Table 5's max delay of 45.
+func TestMesh4PaperTxRangeExact(t *testing.T) {
+	st := sweepAll(t, grid.Canonical(grid.Mesh2D4), NewMesh4Protocol())
+	if st.minTx != 208 {
+		t.Errorf("best-case Tx = %d, paper reports 208", st.minTx)
+	}
+	if st.maxTx != 223 {
+		t.Errorf("worst-case Tx = %d, paper reports 223", st.maxTx)
+	}
+	if st.maxDelay != 45 {
+		t.Errorf("max delay = %d, paper reports 45", st.maxDelay)
+	}
+	if st.totalRepairs != 0 {
+		t.Errorf("2D-4 should never need planner repairs, got %d", st.totalRepairs)
+	}
+}
+
+// ForTopology must dispatch to the right protocol.
+func TestForTopologyDispatch(t *testing.T) {
+	want := map[grid.Kind]string{
+		grid.Mesh2D3: "paper-2d3",
+		grid.Mesh2D4: "paper-2d4",
+		grid.Mesh2D8: "paper-2d8",
+		grid.Mesh3D6: "paper-3d6",
+	}
+	for k, name := range want {
+		if got := ForTopology(k).Name(); got != name {
+			t.Errorf("ForTopology(%v).Name() = %q, want %q", k, got, name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind did not panic")
+		}
+	}()
+	ForTopology(grid.Kind(77))
+}
+
+// Relay fraction sanity: the paper protocols must use far fewer relays
+// than flooding — that is the whole point.
+func TestRelayFractionBelowFlooding(t *testing.T) {
+	t.Parallel()
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		src := topo.At(topo.NumNodes() / 2)
+		r, err := sim.Run(topo, ForTopology(k), src, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := float64(r.RelayCount()) / float64(r.Total)
+		if frac > 0.75 {
+			t.Errorf("%v: relay fraction %.2f too close to flooding", k, frac)
+		}
+	}
+}
+
+// mod must behave like mathematical mod for negatives.
+func TestMod(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{7, 3, 1}, {-7, 3, 2}, {0, 5, 0}, {-1, 4, 3}, {-8, 4, 0},
+	}
+	for _, c := range cases {
+		if got := mod(c.a, c.b); got != c.want {
+			t.Errorf("mod(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

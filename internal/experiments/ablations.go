@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/table"
+)
+
+// Ablations quantify the design choices the paper argues in prose.
+
+// runRow executes one broadcast and appends a row of metrics.
+func runRow(t *table.Table, topo grid.Topology, p sim.Protocol, src grid.Coord, cfg Config) error {
+	r, err := sim.Run(topo, p, src, cfg.simConfig())
+	if err != nil {
+		return err
+	}
+	t.AddRow(p.Name(), r.Tx, r.Rx, r.EnergyJ, r.Delay, r.Duplicates, r.Collisions, r.Repairs)
+	return nil
+}
+
+func ablationHeaders() []string {
+	return []string{"Protocol", "Tx", "Rx", "Power (J)", "Delay", "Dups", "Collisions", "Repairs"}
+}
+
+// AblationDelayVsRetransmit (A1): retransmit-on-collision vs the two
+// delay-to-avoid-collision options of Section 3.1, on the canonical
+// 2D-4 mesh.
+func AblationDelayVsRetransmit(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	topo := grid.Canonical(grid.Mesh2D4)
+	src := grid.C2(6, 8)
+	t := &table.Table{
+		Title:   "Ablation A1. Retransmission vs delay-based collision avoidance (2D-4, 32x16, source (6,8))",
+		Headers: ablationHeaders(),
+	}
+	for _, p := range []sim.Protocol{
+		core.NewMesh4Protocol(),
+		core.NewDelayedMesh4(core.DelayColumns),
+		core.NewDelayedMesh4(core.DelayRows),
+	} {
+		if err := runRow(t, topo, p, src, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AblationFlooding (A2): the paper's relay selection vs blind and
+// jittered flooding, for every topology.
+func AblationFlooding(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	t := &table.Table{
+		Title:   "Ablation A2. Relay selection vs flooding (canonical meshes, center source)",
+		Headers: append([]string{"Topology"}, ablationHeaders()...),
+	}
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		m, n, l := topo.Size()
+		src := grid.C3((m+1)/2, (n+1)/2, (l+1)/2)
+		for _, p := range []sim.Protocol{core.ForTopology(k), core.NewFlooding(), core.NewJitteredFlooding(8)} {
+			r, err := sim.Run(topo, p, src, cfg.simConfig())
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(k.String(), p.Name(), r.Tx, r.Rx, r.EnergyJ, r.Delay, r.Duplicates, r.Collisions, r.Repairs)
+		}
+	}
+	return t, nil
+}
+
+// AblationPerPlane3D (A3): the z-relay lattice vs running the 2D-4
+// protocol in every plane (Section 3.4's rejected approach).
+func AblationPerPlane3D(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	topo := grid.Canonical(grid.Mesh3D6)
+	src := grid.C3(4, 4, 4)
+	t := &table.Table{
+		Title:   "Ablation A3. z-relay lattice vs per-plane 2D-4 (3D-6, 8x8x8, source (4,4,4))",
+		Headers: ablationHeaders(),
+	}
+	for _, p := range []sim.Protocol{core.NewMesh3D6Protocol(), core.NewPerPlane3D()} {
+		if err := runRow(t, topo, p, src, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AblationMesh8Axis (A4): diagonal vs axis forwarding on the 2D mesh
+// with 8 neighbors (the whole-network version of Fig. 6).
+func AblationMesh8Axis(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	topo := grid.Canonical(grid.Mesh2D8)
+	src := grid.C2(16, 8)
+	t := &table.Table{
+		Title:   "Ablation A4. Diagonal vs axis forwarding (2D-8, 32x16, source (16,8))",
+		Headers: ablationHeaders(),
+	}
+	for _, p := range []sim.Protocol{core.NewMesh8Protocol(), core.NewMesh8Axis()} {
+		if err := runRow(t, topo, p, src, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AllAblations renders A1-A5.
+func AllAblations(cfg Config) ([]*table.Table, error) {
+	var out []*table.Table
+	for _, f := range []func(Config) (*table.Table, error){
+		AblationDelayVsRetransmit, AblationFlooding, AblationPerPlane3D, AblationMesh8Axis, AblationGossip,
+	} {
+		t, err := f(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation: %w", err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

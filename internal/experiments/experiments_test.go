@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wsnbcast/internal/grid"
+)
+
+func TestTable1Golden(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"2/3", "3/4", "5/8", "5/6", "2D-3", "3D-6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	out := Table2(Config{}).String()
+	// Measured and paper columns must agree cell for cell; spot-check
+	// the distinctive values.
+	for _, want := range []string{"255", "765", "170", "680", "102", "816", "124", "744",
+		"2.61e-02", "2.18e-02", "2.35e-02", "2.22e-02"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables3Through5(t *testing.T) {
+	t3, err := Table3(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2D-4 best case matches the paper exactly.
+	if !strings.Contains(t3.String(), "208") {
+		t.Errorf("Table 3 missing 2D-4 best Tx 208:\n%s", t3)
+	}
+	t4, err := Table4(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t4.String(), "223") {
+		t.Errorf("Table 4 missing 2D-4 worst Tx 223:\n%s", t4)
+	}
+	t5, err := Table5(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t5.String()
+	if !strings.Contains(out, "45") || !strings.Contains(out, "20") {
+		t.Errorf("Table 5 missing expected delays:\n%s", out)
+	}
+}
+
+func TestAllTables(t *testing.T) {
+	tables, err := AllTables(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("AllTables returned %d tables", len(tables))
+	}
+	for i, tbl := range tables {
+		if tbl.Title == "" || len(tbl.Rows) == 0 {
+			t.Errorf("table %d empty", i+1)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		out, err := Figure(n, Config{})
+		if err != nil {
+			t.Fatalf("Figure(%d): %v", n, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("Figure(%d) empty", n)
+		}
+	}
+	if _, err := Figure(10, Config{}); err == nil {
+		t.Error("Figure(10) should fail")
+	}
+	if _, err := Figure(0, Config{}); err == nil {
+		t.Error("Figure(0) should fail")
+	}
+}
+
+func TestFigure6Content(t *testing.T) {
+	out, err := Figure(6, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "5/8") || !strings.Contains(out, "3/8") {
+		t.Errorf("Fig. 6 missing the 5/8 vs 3/8 comparison:\n%s", out)
+	}
+}
+
+func TestFigure5Content(t *testing.T) {
+	out, err := Figure(5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reachability=100%") {
+		t.Errorf("Fig. 5 run incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "(6,8)") {
+		t.Errorf("Fig. 5 missing the paper's source:\n%s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tables, err := AllAblations(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("AllAblations returned %d", len(tables))
+	}
+	a5 := tables[4].String()
+	if !strings.Contains(a5, "gossip p=0.30") {
+		t.Errorf("A5 rows missing:\n%s", a5)
+	}
+	// A2 includes flooding rows for every topology.
+	a2 := tables[1].String()
+	if strings.Count(a2, "flooding") < 4 {
+		t.Errorf("A2 missing flooding rows:\n%s", a2)
+	}
+}
+
+func TestPaperConstantsComplete(t *testing.T) {
+	for _, k := range grid.Kinds() {
+		if _, ok := PaperTable2[k]; !ok {
+			t.Errorf("PaperTable2 missing %v", k)
+		}
+		if _, ok := PaperTable3[k]; !ok {
+			t.Errorf("PaperTable3 missing %v", k)
+		}
+		if _, ok := PaperTable4[k]; !ok {
+			t.Errorf("PaperTable4 missing %v", k)
+		}
+		if _, ok := PaperTable5[k]; !ok {
+			t.Errorf("PaperTable5 missing %v", k)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wsnbcast/internal/analysis"
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/pipeline"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/table"
+)
+
+// Extension experiments: beyond the paper's evaluation, quantifying
+// claims it makes in passing and the natural next questions.
+
+// ExtensionRegularVsRandom (E1) quantifies Section 1's premise: "the
+// WSN with regular topology can communicate more efficiently than the
+// WSN with random topology". A 2D-4 mesh with the paper protocol is
+// compared against jittered-grid random geometric deployments of the
+// same 512 nodes (flooding — a random topology admits no precomputed
+// relay schedule).
+func ExtensionRegularVsRandom(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	t := &table.Table{
+		Title: "Extension E1. Regular vs random deployment (512 nodes, center source)",
+		Headers: []string{"Deployment", "Protocol", "AvgDeg", "Tx", "Rx",
+			"Power (J)", "Delay", "Repairs"},
+	}
+	regular := grid.Canonical(grid.Mesh2D4)
+	src := grid.C2(16, 8)
+	r, err := sim.Run(regular, core.NewMesh4Protocol(), src, cfg.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("regular 32x16", r.Protocol, fmt.Sprintf("%.2f", grid.AvgDegree(regular)),
+		r.Tx, r.Rx, r.EnergyJ, r.Delay, r.Repairs)
+
+	for _, seed := range []uint64{1, 2, 3} {
+		// Radius 1.35 yields an average degree comparable to the
+		// 8-neighbor regime; flooding is the only generic protocol.
+		rgg := grid.NewIrregular(32, 16, 0.35, 1.35, seed)
+		if !grid.IsConnectedGraph(rgg) {
+			continue
+		}
+		rr, err := sim.Run(rgg, core.NewJitteredFlooding(8), src, cfg.simConfig())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("random seed=%d", seed), rr.Protocol,
+			fmt.Sprintf("%.2f", grid.AvgDegree(rgg)),
+			rr.Tx, rr.Rx, rr.EnergyJ, rr.Delay, rr.Repairs)
+	}
+	if len(t.Rows) < 2 {
+		return nil, fmt.Errorf("experiments: every random deployment disconnected")
+	}
+	return t, nil
+}
+
+// ExtensionPipelining (E2) measures the multi-packet behavior: the
+// smallest safe injection interval per topology and the speedup of
+// pipelining a 10-packet burst over sequential broadcasts.
+func ExtensionPipelining(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	t := &table.Table{
+		Title: "Extension E2. Pipelined multi-packet dissemination (canonical meshes, center source)",
+		Headers: []string{"Topology", "Safe interval", "1-pkt delay",
+			"10 pkts pipelined", "10 pkts sequential", "Speedup"},
+	}
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		m, n, l := topo.Size()
+		src := grid.C3((m+1)/2, (n+1)/2, (l+1)/2)
+		p := core.ForTopology(k)
+		one, err := sim.Run(topo, p, src, cfg.simConfig())
+		if err != nil {
+			return nil, err
+		}
+		safe, err := pipeline.SafeInterval(topo, p, src, 4, 4*(one.Delay+1))
+		if err != nil {
+			return nil, err
+		}
+		snap, _, err := sim.Snapshot(topo, p, src, cfg.simConfig())
+		if err != nil {
+			return nil, err
+		}
+		burst, err := pipeline.Run(topo, snap, src, pipeline.Config{Packets: 10, Interval: safe})
+		if err != nil {
+			return nil, err
+		}
+		if !burst.Delivered {
+			return nil, fmt.Errorf("experiments: %v burst not delivered at interval %d", k, safe)
+		}
+		sequential := 10 * (one.Delay + 1)
+		t.AddRow(k.String(), safe, one.Delay, burst.Slots, sequential,
+			fmt.Sprintf("%.1fx", float64(sequential)/float64(burst.Slots)))
+	}
+	return t, nil
+}
+
+// ExtensionRotation (E3) measures the lifetime gain of rotating the
+// broadcast source instead of always broadcasting from one node.
+func ExtensionRotation(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	t := &table.Table{
+		Title:   "Extension E3. Source rotation vs fixed source (1 J per-node budget)",
+		Headers: []string{"Topology", "Fixed rounds", "Rotated rounds", "Gain"},
+	}
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		m, n, l := topo.Size()
+		fixed := grid.C3((m+1)/2, (n+1)/2, (l+1)/2)
+		rep, err := analysis.CompareRotation(topo, core.ForTopology(k), fixed,
+			cfg.simConfig(), 1.0, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k.String(), rep.FixedRounds, rep.RotatedRounds,
+			fmt.Sprintf("%.2fx", rep.Gain))
+	}
+	return t, nil
+}
+
+// AllExtensions renders E1-E7.
+func AllExtensions(cfg Config) ([]*table.Table, error) {
+	var out []*table.Table
+	for _, f := range []func(Config) (*table.Table, error){
+		ExtensionRegularVsRandom, ExtensionPipelining, ExtensionRotation, ExtensionRobustness, ExtensionScaling, ExtensionMonitoring, ExtensionIdleListening,
+	} {
+		t, err := f(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: extension: %w", err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensions(t *testing.T) {
+	tables, err := AllExtensions(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 7 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	e1 := tables[0].String()
+	if !strings.Contains(e1, "regular 32x16") || !strings.Contains(e1, "random seed=1") {
+		t.Errorf("E1 rows missing:\n%s", e1)
+	}
+	e2 := tables[1].String()
+	if strings.Count(e2, "x") < 4 {
+		t.Errorf("E2 speedups missing:\n%s", e2)
+	}
+	e3 := tables[2].String()
+	if !strings.Contains(e3, "3D-6") {
+		t.Errorf("E3 rows missing:\n%s", e3)
+	}
+	e4 := tables[3].String()
+	if !strings.Contains(e4, "flooding") || !strings.Contains(e4, "48") {
+		t.Errorf("E4 rows missing:\n%s", e4)
+	}
+	e5 := tables[4].String()
+	if !strings.Contains(e5, "64x32") || !strings.Contains(e5, "12x12x12") {
+		t.Errorf("E5 rows missing:\n%s", e5)
+	}
+	e6 := tables[5].String()
+	if !strings.Contains(e6, "Cycle J") {
+		t.Errorf("E6 rows missing:\n%s", e6)
+	}
+	e7 := tables[6].String()
+	if !strings.Contains(e7, "Total rank") {
+		t.Errorf("E7 rows missing:\n%s", e7)
+	}
+	t.Logf("\n%s\n%s\n%s\n%s\n%s\n%s\n%s", e1, e2, e3, e4, e5, e6, e7)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The figures are fully deterministic; golden files pin their exact
+// output so rendering or protocol regressions surface immediately.
+// Regenerate with: go test ./internal/experiments -run Golden -update
+func TestFiguresGolden(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		n := n
+		t.Run(fmt.Sprintf("fig%d", n), func(t *testing.T) {
+			got, err := Figure(n, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("fig%d.golden", n))
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("figure %d changed; diff against %s (or -update if intended)\ngot:\n%s",
+					n, path, got)
+			}
+		})
+	}
+}
+
+// Table 1 and 2 are deterministic too; pin them.
+func TestTablesGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func() string
+	}{
+		{"table1", func() string { return Table1().String() }},
+		{"table2", func() string { return Table2(Config{}).String() }},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.gen()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s changed:\n%s", tc.name, got)
+			}
+		})
+	}
+}

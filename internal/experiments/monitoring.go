@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wsnbcast/internal/converge"
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/table"
+)
+
+// ExtensionMonitoring (E6) measures a full monitoring duty cycle — the
+// deployment the paper's introduction describes: the base station
+// broadcasts a command (the paper's protocol) and every node's reading
+// flows back via aggregating convergecast. The table reports the
+// per-phase and total cost for each topology, answering which topology
+// a monitoring deployment should pick when both directions matter.
+func ExtensionMonitoring(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	t := &table.Table{
+		Title: "Extension E6. Full monitoring duty cycle: broadcast command + convergecast readings (canonical meshes, center base station)",
+		Headers: []string{"Topology", "Bcast J", "Bcast slots",
+			"Collect J", "Collect slots", "Cycle J", "Cycle slots"},
+	}
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		m, n, l := topo.Size()
+		base := grid.C3((m+1)/2, (n+1)/2, (l+1)/2)
+		bc, err := sim.Run(topo, core.ForTopology(k), base, cfg.simConfig())
+		if err != nil {
+			return nil, err
+		}
+		if !bc.FullyReached() {
+			return nil, fmt.Errorf("experiments: %v broadcast incomplete", k)
+		}
+		cc, err := converge.Run(topo, base, converge.Config{Model: cfg.Model, Packet: cfg.Packet})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k.String(),
+			table.FormatJ(bc.EnergyJ), bc.Delay,
+			table.FormatJ(cc.EnergyJ), cc.Slots,
+			table.FormatJ(bc.EnergyJ+cc.EnergyJ), bc.Delay+cc.Slots)
+	}
+	return t, nil
+}

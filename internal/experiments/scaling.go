@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/table"
+)
+
+// ExtensionScaling (E5) sweeps the network size: the paper evaluates a
+// single 512-node configuration; this series shows how transmissions
+// per node, power per node and delay scale as the mesh grows, and that
+// the protocol delay tracks the network diameter (the shortest-path
+// claim) at every size.
+func ExtensionScaling(cfg Config) (*table.Table, error) {
+	cfg = cfg.fill()
+	t := &table.Table{
+		Title: "Extension E5. Size scaling (center source)",
+		Headers: []string{"Topology", "Size", "Nodes", "Tx/node", "Power/node (J)",
+			"Delay", "Diameter-1", "Delay overhead"},
+	}
+	type config struct {
+		k       grid.Kind
+		m, n, l int
+	}
+	var configs []config
+	for _, side := range []int{8, 16, 32, 64} {
+		configs = append(configs,
+			config{grid.Mesh2D3, side, side / 2, 1},
+			config{grid.Mesh2D4, side, side / 2, 1},
+			config{grid.Mesh2D8, side, side / 2, 1},
+		)
+	}
+	for _, side := range []int{4, 6, 8, 12} {
+		configs = append(configs, config{grid.Mesh3D6, side, side, side})
+	}
+	for _, c := range configs {
+		topo := grid.New(c.k, c.m, c.n, c.l)
+		src := grid.C3((c.m+1)/2, (c.n+1)/2, (c.l+1)/2)
+		r, err := sim.Run(topo, core.ForTopology(c.k), src, cfg.simConfig())
+		if err != nil {
+			return nil, err
+		}
+		if !r.FullyReached() {
+			return nil, fmt.Errorf("experiments: %v %dx%dx%d incomplete", c.k, c.m, c.n, c.l)
+		}
+		v := float64(topo.NumNodes())
+		ideal := core.Eccentricity(topo, src) - 1
+		size := fmt.Sprintf("%dx%d", c.m, c.n)
+		if c.l > 1 {
+			size = fmt.Sprintf("%dx%dx%d", c.m, c.n, c.l)
+		}
+		overhead := "0.0%"
+		if ideal > 0 {
+			overhead = table.FormatPercent(float64(r.Delay-ideal) / float64(ideal))
+		}
+		t.AddRow(c.k.String(), size, topo.NumNodes(),
+			fmt.Sprintf("%.3f", float64(r.Tx)/v),
+			table.FormatJ(r.EnergyJ/v),
+			r.Delay, ideal, overhead)
+	}
+	return t, nil
+}

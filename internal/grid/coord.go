@@ -1,0 +1,65 @@
+package grid
+
+import "fmt"
+
+// Coord identifies a node by its relative location in the regular mesh,
+// exactly as the paper assigns ids: (x, y) in 2D networks and (x, y, z)
+// in 3D networks. Coordinates are 1-based, matching the paper's figures
+// (the corner of an m x n mesh is (1, 1)). For 2D topologies Z is 1.
+type Coord struct {
+	X, Y, Z int
+}
+
+// C2 builds a 2D coordinate (Z fixed to 1).
+func C2(x, y int) Coord { return Coord{X: x, Y: y, Z: 1} }
+
+// C3 builds a 3D coordinate.
+func C3(x, y, z int) Coord { return Coord{X: x, Y: y, Z: z} }
+
+// String renders the id the way the paper writes it: "(x,y)" for 2D
+// (z == 1 is elided only when printing via a 2D topology; the bare
+// String always includes all set dimensions for unambiguity).
+func (c Coord) String() string {
+	if c.Z == 1 {
+		return fmt.Sprintf("(%d,%d)", c.X, c.Y)
+	}
+	return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z)
+}
+
+// Add returns the coordinate translated by (dx, dy, dz).
+func (c Coord) Add(dx, dy, dz int) Coord {
+	return Coord{X: c.X + dx, Y: c.Y + dy, Z: c.Z + dz}
+}
+
+// S1 returns the S1 diagonal-axis index of the coordinate: the paper
+// defines node (i, j) to be in set S1(c) when c = i + j. Nodes sharing
+// an S1 index form a straight line in the mesh (the S1 direction).
+func (c Coord) S1() int { return c.X + c.Y }
+
+// S2 returns the S2 diagonal-axis index: node (i, j) is in set S2(c)
+// when c = i - j.
+func (c Coord) S2() int { return c.X - c.Y }
+
+// ManhattanTo returns the L1 distance between two coordinates.
+func (c Coord) ManhattanTo(o Coord) int {
+	return abs(c.X-o.X) + abs(c.Y-o.Y) + abs(c.Z-o.Z)
+}
+
+// ChebyshevTo returns the L-infinity distance between two coordinates.
+func (c Coord) ChebyshevTo(o Coord) int {
+	d := abs(c.X - o.X)
+	if dy := abs(c.Y - o.Y); dy > d {
+		d = dy
+	}
+	if dz := abs(c.Z - o.Z); dz > d {
+		d = dz
+	}
+	return d
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,83 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordString(t *testing.T) {
+	cases := []struct {
+		c    Coord
+		want string
+	}{
+		{C2(6, 8), "(6,8)"},
+		{C2(1, 1), "(1,1)"},
+		{C3(6, 8, 4), "(6,8,4)"},
+		{C3(2, 3, 1), "(2,3)"}, // z == 1 is elided
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestCoordAdd(t *testing.T) {
+	c := C3(5, 9, 2).Add(-2, 1, 3)
+	if c != (Coord{X: 3, Y: 10, Z: 5}) {
+		t.Fatalf("Add = %v", c)
+	}
+}
+
+// The paper's Section 3 example: nodes (5,7), (6,6), (7,5) are in set
+// S1(12), and nodes (5,3), (6,4), (7,5) are in set S2(2).
+func TestDiagonalIndicesPaperExample(t *testing.T) {
+	for _, c := range []Coord{C2(5, 7), C2(6, 6), C2(7, 5)} {
+		if c.S1() != 12 {
+			t.Errorf("%v.S1() = %d, want 12", c, c.S1())
+		}
+	}
+	for _, c := range []Coord{C2(5, 3), C2(6, 4), C2(7, 5)} {
+		if c.S2() != 2 {
+			t.Errorf("%v.S2() = %d, want 2", c, c.S2())
+		}
+	}
+}
+
+func TestManhattanChebyshev(t *testing.T) {
+	a, b := C3(1, 2, 3), C3(4, 2, 1)
+	if d := a.ManhattanTo(b); d != 5 {
+		t.Errorf("Manhattan = %d, want 5", d)
+	}
+	if d := a.ChebyshevTo(b); d != 3 {
+		t.Errorf("Chebyshev = %d, want 3", d)
+	}
+	if d := a.ManhattanTo(a); d != 0 {
+		t.Errorf("Manhattan self = %d", d)
+	}
+}
+
+func TestDistanceSymmetryQuick(t *testing.T) {
+	gen := func(r *rand.Rand) Coord {
+		return Coord{X: r.Intn(64) + 1, Y: r.Intn(64) + 1, Z: r.Intn(8) + 1}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		return a.ManhattanTo(b) == b.ManhattanTo(a) &&
+			a.ChebyshevTo(b) == b.ChebyshevTo(a) &&
+			a.ChebyshevTo(b) <= a.ManhattanTo(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{-3, 3}, {0, 0}, {7, 7}} {
+		if got := abs(tc.in); got != tc.want {
+			t.Errorf("abs(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package grid
+
+// Diagonal-axis geometry (Section 3 of the paper).
+//
+// For any node (i, j), the paper defines two diagonal axes:
+//   - node (i, j) is in set S1(c) when c = i + j;
+//   - node (i, j) is in set S2(c) when c = i - j.
+// Nodes in one set form a straight diagonal line in the mesh.
+//
+// For the 2D mesh with 3 neighbors the paper additionally defines the
+// basic relay strips B1 and B2 of a node: a pair of adjacent S1 (resp.
+// S2) lines, whose union is a connected "staircase" in the brick-wall
+// grid.
+
+// InS1 reports whether c lies on the diagonal line S1(idx).
+func InS1(c Coord, idx int) bool { return c.S1() == idx }
+
+// InS2 reports whether c lies on the diagonal line S2(idx).
+func InS2(c Coord, idx int) bool { return c.S2() == idx }
+
+// S1Line returns, in increasing x order, the nodes of S1(idx) inside t.
+// The line contains the nodes (x, idx-x).
+func S1Line(t Topology, idx int) []Coord {
+	m, n, _ := t.Size()
+	var line []Coord
+	for x := 1; x <= m; x++ {
+		y := idx - x
+		if y >= 1 && y <= n {
+			line = append(line, C2(x, y))
+		}
+	}
+	return line
+}
+
+// S2Line returns, in increasing x order, the nodes of S2(idx) inside t.
+// The line contains the nodes (x, x-idx).
+func S2Line(t Topology, idx int) []Coord {
+	m, n, _ := t.Size()
+	var line []Coord
+	for x := 1; x <= m; x++ {
+		y := x - idx
+		if y >= 1 && y <= n {
+			line = append(line, C2(x, y))
+		}
+	}
+	return line
+}
+
+// Strip is a pair of adjacent diagonal lines of one type — the paper's
+// B1(i, j) and B2(i, j) basic relay sets for the 2D mesh with 3
+// neighbors. Lo and Hi are the two line indices (Hi = Lo or Lo±1
+// collapsed so that Lo <= Hi).
+type Strip struct {
+	// Axis is 1 for S1 strips and 2 for S2 strips.
+	Axis int
+	// Lo and Hi are the smallest and largest line index of the strip.
+	Lo, Hi int
+}
+
+// Contains reports whether c lies on the strip.
+func (s Strip) Contains(c Coord) bool {
+	idx := c.S1()
+	if s.Axis == 2 {
+		idx = c.S2()
+	}
+	return idx >= s.Lo && idx <= s.Hi
+}
+
+// B1 returns the B1(i, j) strip of the paper for the 2D mesh with 3
+// neighbors:
+//
+//	if node (i, j+1) is a neighbor of (i, j):
+//	    B1(i,j) = S1(i+j) u S1(i+j+1)
+//	else:
+//	    B1(i,j) = S1(i+j) u S1(i+j-1)
+func B1(c Coord) Strip {
+	if VerticalUp(c) {
+		return Strip{Axis: 1, Lo: c.S1(), Hi: c.S1() + 1}
+	}
+	return Strip{Axis: 1, Lo: c.S1() - 1, Hi: c.S1()}
+}
+
+// B2 returns the B2(i, j) strip of the paper for the 2D mesh with 3
+// neighbors:
+//
+//	if node (i, j+1) is a neighbor of (i, j):
+//	    B2(i,j) = S2(i-j) u S2(i-j-1)
+//	else:
+//	    B2(i,j) = S2(i-j) u S2(i-j+1)
+func B2(c Coord) Strip {
+	if VerticalUp(c) {
+		return Strip{Axis: 2, Lo: c.S2() - 1, Hi: c.S2()}
+	}
+	return Strip{Axis: 2, Lo: c.S2(), Hi: c.S2() + 1}
+}

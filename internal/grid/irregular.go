@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Irregular is the extension kind for randomized deployments: a
+// jittered-grid random geometric graph. It is not one of the paper's
+// four regular topologies (and is deliberately absent from Kinds());
+// it exists to quantify the paper's Section 1 premise that "the WSN
+// with regular topology can communicate more efficiently than the WSN
+// with random topology".
+const Irregular Kind = 100
+
+// irregular is a random geometric graph over a jittered m x n grid:
+// node (x, y) sits at (x + jx, y + jy) with |jx|,|jy| <= Jitter, and
+// two nodes are connected iff their Euclidean distance is at most
+// Radius (both in units of the grid spacing). The construction is
+// deterministic in the seed.
+type irregular struct {
+	base
+	jitter float64
+	radius float64
+	seed   uint64
+	adj    [][]int32
+	maxDeg int
+}
+
+// NewIrregular builds a jittered-grid random geometric topology.
+// jitter is the maximum per-axis displacement (0 <= jitter < 0.5 keeps
+// nodes in distinct cells), radius the connectivity range; both in
+// units of the grid spacing. The same seed always yields the same
+// graph.
+func NewIrregular(m, n int, jitter, radius float64, seed uint64) Topology {
+	if m < 1 || n < 1 {
+		panic("grid: Irregular requires m, n >= 1")
+	}
+	if jitter < 0 || radius <= 0 {
+		panic("grid: Irregular requires jitter >= 0 and radius > 0")
+	}
+	t := &irregular{
+		base:   base{m: m, n: n, l: 1},
+		jitter: jitter,
+		radius: radius,
+		seed:   seed,
+	}
+	t.build()
+	return t
+}
+
+// position returns the jittered coordinates of node i.
+func (t *irregular) position(i int) (float64, float64) {
+	c := t.At(i)
+	jx := t.uniform(uint64(i)*2+1)*2 - 1
+	jy := t.uniform(uint64(i)*2+2)*2 - 1
+	return float64(c.X) + jx*t.jitter, float64(c.Y) + jy*t.jitter
+}
+
+// uniform returns a deterministic value in [0, 1) derived from the
+// seed and key (splitmix64).
+func (t *irregular) uniform(key uint64) float64 {
+	z := t.seed + key*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func (t *irregular) build() {
+	v := t.NumNodes()
+	xs := make([]float64, v)
+	ys := make([]float64, v)
+	for i := 0; i < v; i++ {
+		xs[i], ys[i] = t.position(i)
+	}
+	t.adj = make([][]int32, v)
+	r2 := t.radius * t.radius
+	// Cell-bucketed neighbor search: nodes stay within jitter of their
+	// cell, so candidates sit within ceil(radius + 2*jitter) cells.
+	reach := int(math.Ceil(t.radius + 2*t.jitter))
+	for i := 0; i < v; i++ {
+		ci := t.At(i)
+		for dy := -reach; dy <= reach; dy++ {
+			for dx := -reach; dx <= reach; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				cj := ci.Add(dx, dy, 0)
+				if !t.Contains(cj) {
+					continue
+				}
+				j := t.Index(cj)
+				ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+				if ddx*ddx+ddy*ddy <= r2 {
+					t.adj[i] = append(t.adj[i], int32(j))
+				}
+			}
+		}
+		if len(t.adj[i]) > t.maxDeg {
+			t.maxDeg = len(t.adj[i])
+		}
+	}
+}
+
+func (t *irregular) Kind() Kind { return Irregular }
+
+func (t *irregular) MaxDegree() int { return t.maxDeg }
+
+// OptimalETR for an irregular graph is the generic (N-1)/N bound.
+func (t *irregular) OptimalETR() (int, int) {
+	if t.maxDeg == 0 {
+		return 0, 1
+	}
+	return t.maxDeg - 1, t.maxDeg
+}
+
+func (t *irregular) Neighbors(c Coord, dst []Coord) []Coord {
+	if !t.Contains(c) {
+		return dst
+	}
+	for _, j := range t.adj[t.Index(c)] {
+		dst = append(dst, t.At(int(j)))
+	}
+	return dst
+}
+
+func (t *irregular) Connected(a, b Coord) bool {
+	if !t.Contains(a) || !t.Contains(b) || a == b {
+		return false
+	}
+	bi := int32(t.Index(b))
+	for _, j := range t.adj[t.Index(a)] {
+		if j == bi {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *irregular) Degree(c Coord) int {
+	if !t.Contains(c) {
+		return 0
+	}
+	return len(t.adj[t.Index(c)])
+}
+
+// AvgDegree returns the mean node degree — the knob to match against a
+// regular topology when comparing fairly.
+func AvgDegree(t Topology) float64 {
+	sum := 0
+	for i := 0; i < t.NumNodes(); i++ {
+		sum += t.Degree(t.At(i))
+	}
+	return float64(sum) / float64(t.NumNodes())
+}
+
+// IsConnectedGraph reports whether every node is reachable from node 0
+// — random geometric graphs below the percolation radius fall apart,
+// and broadcast experiments must check first.
+func IsConnectedGraph(t Topology) bool {
+	v := t.NumNodes()
+	if v == 0 {
+		return false
+	}
+	seen := make([]bool, v)
+	seen[0] = true
+	queue := []int{0}
+	count := 1
+	var buf []Coord
+	for head := 0; head < len(queue); head++ {
+		buf = t.Neighbors(t.At(queue[head]), buf[:0])
+		for _, nb := range buf {
+			j := t.Index(nb)
+			if !seen[j] {
+				seen[j] = true
+				count++
+				queue = append(queue, j)
+			}
+		}
+	}
+	return count == v
+}
+
+func (t *irregular) String() string {
+	return fmt.Sprintf("irregular %dx%d (jitter %.2f, radius %.2f, seed %d)",
+		t.m, t.n, t.jitter, t.radius, t.seed)
+}

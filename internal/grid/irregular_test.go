@@ -1,0 +1,170 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIrregularDeterministic(t *testing.T) {
+	a := NewIrregular(10, 10, 0.3, 1.4, 7)
+	b := NewIrregular(10, 10, 0.3, 1.4, 7)
+	for i := 0; i < a.NumNodes(); i++ {
+		c := a.At(i)
+		na := a.Neighbors(c, nil)
+		nb := b.Neighbors(c, nil)
+		if len(na) != len(nb) {
+			t.Fatalf("node %v: %d vs %d neighbors", c, len(na), len(nb))
+		}
+		for k := range na {
+			if na[k] != nb[k] {
+				t.Fatalf("node %v: neighbor %d differs", c, k)
+			}
+		}
+	}
+	// A different seed yields a different graph (overwhelmingly).
+	cdiff := NewIrregular(10, 10, 0.3, 1.4, 8)
+	same := true
+	for i := 0; i < a.NumNodes() && same; i++ {
+		if len(a.Neighbors(a.At(i), nil)) != len(cdiff.Neighbors(a.At(i), nil)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical degree sequences (suspicious)")
+	}
+}
+
+func TestIrregularSymmetry(t *testing.T) {
+	topo := NewIrregular(12, 8, 0.4, 1.5, 42)
+	for i := 0; i < topo.NumNodes(); i++ {
+		a := topo.At(i)
+		for _, b := range topo.Neighbors(a, nil) {
+			if !topo.Connected(b, a) {
+				t.Fatalf("asymmetric edge %v-%v", a, b)
+			}
+		}
+		if topo.Connected(a, a) {
+			t.Fatalf("self-loop at %v", a)
+		}
+		if topo.Degree(a) != len(topo.Neighbors(a, nil)) {
+			t.Fatalf("degree mismatch at %v", a)
+		}
+	}
+}
+
+// With zero jitter and radius 1, the irregular graph IS the 2D-4 mesh.
+func TestIrregularDegeneratesTo2D4(t *testing.T) {
+	rgg := NewIrregular(8, 6, 0, 1.0, 1)
+	ref := NewMesh2D4(8, 6)
+	for i := 0; i < ref.NumNodes(); i++ {
+		c := ref.At(i)
+		if rgg.Degree(c) != ref.Degree(c) {
+			t.Fatalf("%v: degree %d vs %d", c, rgg.Degree(c), ref.Degree(c))
+		}
+		for _, nb := range ref.Neighbors(c, nil) {
+			if !rgg.Connected(c, nb) {
+				t.Fatalf("missing edge %v-%v", c, nb)
+			}
+		}
+	}
+}
+
+// With radius ~1.5 and zero jitter it becomes the 2D-8 mesh.
+func TestIrregularDegeneratesTo2D8(t *testing.T) {
+	rgg := NewIrregular(8, 6, 0, 1.45, 1)
+	ref := NewMesh2D8(8, 6)
+	for i := 0; i < ref.NumNodes(); i++ {
+		c := ref.At(i)
+		if rgg.Degree(c) != ref.Degree(c) {
+			t.Fatalf("%v: degree %d vs %d", c, rgg.Degree(c), ref.Degree(c))
+		}
+	}
+}
+
+func TestIrregularConnectivityHelpers(t *testing.T) {
+	well := NewIrregular(10, 10, 0.2, 1.6, 3)
+	if !IsConnectedGraph(well) {
+		t.Error("radius 1.6 RGG should be connected")
+	}
+	sparse := NewIrregular(10, 10, 0.45, 0.35, 3)
+	if IsConnectedGraph(sparse) {
+		t.Error("radius 0.35 with jitter should disconnect")
+	}
+	if d := AvgDegree(well); d < 4 || d > 10 {
+		t.Errorf("avg degree %f out of expected band", d)
+	}
+	if AvgDegree(NewMesh2D4(100, 100)) >= 4 {
+		// borders pull the average strictly below 4
+		t.Error("2D-4 average degree must be < 4")
+	}
+}
+
+func TestIrregularKindAndETR(t *testing.T) {
+	topo := NewIrregular(6, 6, 0.3, 1.4, 5)
+	if topo.Kind() != Irregular {
+		t.Errorf("kind = %v", topo.Kind())
+	}
+	num, den := topo.OptimalETR()
+	if den != topo.MaxDegree() || num != den-1 {
+		t.Errorf("ETR = %d/%d for max degree %d", num, den, topo.MaxDegree())
+	}
+	for _, k := range Kinds() {
+		if k == Irregular {
+			t.Error("Irregular must not appear in Kinds()")
+		}
+	}
+}
+
+func TestIrregularBadParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewIrregular(0, 5, 0.1, 1, 1) },
+		func() { NewIrregular(5, 5, -0.1, 1, 1) },
+		func() { NewIrregular(5, 5, 0.1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad params did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: jitter displaces each node by at most jitter per axis
+// (sqrt(2)*jitter in Euclidean length), so an edge of length <= radius
+// never connects cells farther than radius + 2*sqrt(2)*jitter apart.
+func TestIrregularEdgeLengthBound(t *testing.T) {
+	f := func(seed uint16) bool {
+		topo := NewIrregular(8, 8, 0.4, 1.3, uint64(seed))
+		limit := 1.3 + 2*0.4*1.4142136
+		for i := 0; i < topo.NumNodes(); i++ {
+			a := topo.At(i)
+			for _, b := range topo.Neighbors(a, nil) {
+				dx := float64(a.X - b.X)
+				dy := float64(a.Y - b.Y)
+				if dx*dx+dy*dy > limit*limit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIrregularOutOfMeshQueries(t *testing.T) {
+	topo := NewIrregular(5, 5, 0.2, 1.2, 1)
+	if got := topo.Neighbors(C2(9, 9), nil); got != nil {
+		t.Errorf("out-of-mesh neighbors = %v", got)
+	}
+	if topo.Degree(C2(9, 9)) != 0 {
+		t.Error("out-of-mesh degree")
+	}
+	if topo.Connected(C2(1, 1), C2(9, 9)) {
+		t.Error("out-of-mesh connected")
+	}
+}

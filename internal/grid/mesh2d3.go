@@ -1,0 +1,84 @@
+package grid
+
+// mesh2d3 is the 2D mesh with 3 neighbors (Fig. 1): the brick-wall
+// grid. Node (x, y) always has its horizontal neighbors (x±1, y) and
+// exactly one vertical neighbor: the edge between (x, y) and (x, y+1)
+// exists iff x+y is even.
+//
+// This parity convention is fixed by the paper's Section 3.3 example:
+// for source (5, 4), node (5, 5) is NOT a neighbor (5+4 odd) while
+// node (5, 3) IS (5+3 even).
+type mesh2d3 struct {
+	base
+}
+
+// NewMesh2D3 constructs an m x n 2D mesh with 3 neighbors.
+func NewMesh2D3(m, n int) Topology {
+	t := mesh2d3{base{m: m, n: n, l: 1}}
+	t.check2D("Mesh2D3")
+	return t
+}
+
+func (t mesh2d3) Kind() Kind     { return Mesh2D3 }
+func (t mesh2d3) MaxDegree() int { return 3 }
+
+// OptimalETR is 2/3 (Table 1).
+func (t mesh2d3) OptimalETR() (int, int) { return 2, 3 }
+
+// VerticalUp reports whether the vertical edge from (x, y) to (x, y+1)
+// exists: iff x+y is even.
+func VerticalUp(c Coord) bool { return (c.X+c.Y)%2 == 0 }
+
+// VerticalDown reports whether the vertical edge from (x, y) to
+// (x, y-1) exists: iff x+(y-1) is even, i.e. x+y odd.
+func VerticalDown(c Coord) bool { return (c.X+c.Y)%2 != 0 }
+
+func (t mesh2d3) Neighbors(c Coord, dst []Coord) []Coord {
+	if c.X > 1 {
+		dst = append(dst, c.Add(-1, 0, 0))
+	}
+	if c.X < t.m {
+		dst = append(dst, c.Add(1, 0, 0))
+	}
+	if VerticalDown(c) && c.Y > 1 {
+		dst = append(dst, c.Add(0, -1, 0))
+	}
+	if VerticalUp(c) && c.Y < t.n {
+		dst = append(dst, c.Add(0, 1, 0))
+	}
+	return dst
+}
+
+func (t mesh2d3) Connected(a, b Coord) bool {
+	if !t.Contains(a) || !t.Contains(b) || a.Z != b.Z {
+		return false
+	}
+	if a.Y == b.Y && abs(a.X-b.X) == 1 {
+		return true
+	}
+	if a.X == b.X && abs(a.Y-b.Y) == 1 {
+		lo := a
+		if b.Y < a.Y {
+			lo = b
+		}
+		return VerticalUp(lo)
+	}
+	return false
+}
+
+func (t mesh2d3) Degree(c Coord) int {
+	d := 0
+	if c.X > 1 {
+		d++
+	}
+	if c.X < t.m {
+		d++
+	}
+	if VerticalDown(c) && c.Y > 1 {
+		d++
+	}
+	if VerticalUp(c) && c.Y < t.n {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,222 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's Section 3.3 example fixes the brick-wall parity: for
+// source (5,4), node (5,5) is NOT a neighbor while (5,3) is.
+func TestMesh2D3PaperParity(t *testing.T) {
+	topo := NewMesh2D3(10, 10)
+	if topo.Connected(C2(5, 4), C2(5, 5)) {
+		t.Error("(5,5) must not be a neighbor of (5,4)")
+	}
+	if !topo.Connected(C2(5, 4), C2(5, 3)) {
+		t.Error("(5,3) must be a neighbor of (5,4)")
+	}
+	if VerticalUp(C2(5, 4)) {
+		t.Error("VerticalUp(5,4) must be false (5+4 odd)")
+	}
+	if !VerticalDown(C2(5, 4)) {
+		t.Error("VerticalDown(5,4) must be true")
+	}
+}
+
+// Every node has exactly one vertical link direction available.
+func TestMesh2D3VerticalExclusive(t *testing.T) {
+	f := func(x, y uint8) bool {
+		c := C2(int(x)+1, int(y)+1)
+		return VerticalUp(c) != VerticalDown(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A vertical edge must be agreed on by both endpoints.
+func TestMesh2D3VerticalAgreement(t *testing.T) {
+	topo := NewMesh2D3(12, 12)
+	for y := 1; y < 12; y++ {
+		for x := 1; x <= 12; x++ {
+			lo, hi := C2(x, y), C2(x, y+1)
+			up := VerticalUp(lo)
+			down := VerticalDown(hi)
+			if up != down {
+				t.Fatalf("edge %v-%v: up=%v down=%v", lo, hi, up, down)
+			}
+			if topo.Connected(lo, hi) != up {
+				t.Fatalf("Connected(%v,%v) = %v, VerticalUp = %v",
+					lo, hi, topo.Connected(lo, hi), up)
+			}
+		}
+	}
+}
+
+// Interior nodes of 2D-3 have exactly 3 neighbors: two horizontal, one
+// vertical.
+func TestMesh2D3InteriorDegree(t *testing.T) {
+	topo := NewMesh2D3(16, 16)
+	for y := 2; y <= 15; y++ {
+		for x := 2; x <= 15; x++ {
+			if d := topo.Degree(C2(x, y)); d != 3 {
+				t.Fatalf("(%d,%d) degree = %d", x, y, d)
+			}
+		}
+	}
+}
+
+// Row 1 and row n nodes whose vertical link points outside the mesh
+// have degree 2 (or 1 in a 1-wide mesh).
+func TestMesh2D3BorderDegrees(t *testing.T) {
+	topo := NewMesh2D3(6, 4)
+	// (1,1): x+y=2 even -> vertical up exists; horizontal right only.
+	if d := topo.Degree(C2(1, 1)); d != 2 {
+		t.Errorf("(1,1) degree = %d, want 2", d)
+	}
+	// (2,1): x+y=3 odd -> vertical down (outside); two horizontal.
+	if d := topo.Degree(C2(2, 1)); d != 2 {
+		t.Errorf("(2,1) degree = %d, want 2", d)
+	}
+	// (2,4): x+y=6 even -> vertical up outside; two horizontal.
+	if d := topo.Degree(C2(2, 4)); d != 2 {
+		t.Errorf("(2,4) degree = %d, want 2", d)
+	}
+}
+
+// B1/B2 strips must contain the anchor node and be connected staircases
+// in the brick-wall graph.
+func TestStripGeometry(t *testing.T) {
+	topo := NewMesh2D3(14, 14)
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		b1, b2 := B1(c), B2(c)
+		if !b1.Contains(c) {
+			t.Fatalf("B1(%v) does not contain anchor", c)
+		}
+		if !b2.Contains(c) {
+			t.Fatalf("B2(%v) does not contain anchor", c)
+		}
+		if b1.Hi-b1.Lo != 1 || b2.Hi-b2.Lo != 1 {
+			t.Fatalf("strip of %v is not two adjacent lines", c)
+		}
+		if b1.Axis != 1 || b2.Axis != 2 {
+			t.Fatalf("strip axes of %v wrong", c)
+		}
+	}
+}
+
+// stripNodes collects the in-mesh nodes of a strip.
+func stripNodes(topo Topology, s Strip) []Coord {
+	var nodes []Coord
+	for i := 0; i < topo.NumNodes(); i++ {
+		c := topo.At(i)
+		if s.Contains(c) {
+			nodes = append(nodes, c)
+		}
+	}
+	return nodes
+}
+
+// A B1/B2 strip induces a connected subgraph of the 2D-3 mesh: the
+// staircase is traversable hop by hop, which is what makes it usable
+// as a relay path.
+func TestStripConnectedSubgraph(t *testing.T) {
+	topo := NewMesh2D3(12, 12)
+	anchors := []Coord{C2(5, 4), C2(6, 6), C2(1, 1), C2(12, 12), C2(7, 2)}
+	for _, a := range anchors {
+		for _, s := range []Strip{B1(a), B2(a)} {
+			nodes := stripNodes(topo, s)
+			if len(nodes) == 0 {
+				t.Fatalf("strip of %v empty", a)
+			}
+			idx := make(map[Coord]int, len(nodes))
+			for i, c := range nodes {
+				idx[c] = i
+			}
+			visited := make([]bool, len(nodes))
+			stack := []int{0}
+			visited[0] = true
+			count := 1
+			var buf []Coord
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				buf = topo.Neighbors(nodes[cur], buf[:0])
+				for _, nb := range buf {
+					if j, ok := idx[nb]; ok && !visited[j] {
+						visited[j] = true
+						count++
+						stack = append(stack, j)
+					}
+				}
+			}
+			if count != len(nodes) {
+				t.Errorf("strip %+v of %v not connected: %d of %d", s, a, count, len(nodes))
+			}
+		}
+	}
+}
+
+// S1Line and S2Line must return exactly the in-mesh nodes with the
+// matching diagonal index, in increasing x order.
+func TestDiagonalLines(t *testing.T) {
+	topo := NewMesh2D4(8, 6)
+	line := S1Line(topo, 7)
+	if len(line) == 0 {
+		t.Fatal("S1(7) empty")
+	}
+	prevX := 0
+	for _, c := range line {
+		if c.S1() != 7 || !topo.Contains(c) {
+			t.Fatalf("S1Line element %v invalid", c)
+		}
+		if c.X <= prevX {
+			t.Fatalf("S1Line not increasing in x")
+		}
+		prevX = c.X
+	}
+	line2 := S2Line(topo, 2)
+	for _, c := range line2 {
+		if c.S2() != 2 || !topo.Contains(c) {
+			t.Fatalf("S2Line element %v invalid", c)
+		}
+	}
+	// Counts: S1(7) in 8x6: x from 1..6 (y=7-x in 1..6) -> 6 nodes.
+	if len(line) != 6 {
+		t.Errorf("len(S1Line(7)) = %d, want 6", len(line))
+	}
+	// S2(2): y=x-2, x from 3..8 -> 6 nodes.
+	if len(line2) != 6 {
+		t.Errorf("len(S2Line(2)) = %d, want 6", len(line2))
+	}
+	if got := S1Line(topo, 100); got != nil {
+		t.Errorf("far S1 line not empty: %v", got)
+	}
+}
+
+func TestInS1InS2(t *testing.T) {
+	if !InS1(C2(6, 6), 12) || InS1(C2(6, 6), 11) {
+		t.Error("InS1 wrong")
+	}
+	if !InS2(C2(6, 4), 2) || InS2(C2(6, 4), 3) {
+		t.Error("InS2 wrong")
+	}
+}
+
+// Property: strip membership is equivalent to the diagonal index being
+// one of the two strip lines.
+func TestStripContainsQuick(t *testing.T) {
+	f := func(ax, ay, cx, cy uint8) bool {
+		a := C2(int(ax)%30+1, int(ay)%30+1)
+		c := C2(int(cx)%30+1, int(cy)%30+1)
+		b1 := B1(a)
+		want := c.S1() == b1.Lo || c.S1() == b1.Hi
+		return b1.Contains(c) == want
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

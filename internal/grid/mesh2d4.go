@@ -1,0 +1,51 @@
+package grid
+
+// mesh2d4 is the 2D mesh with 4 neighbors (Fig. 2): node (x, y) is
+// connected to (x±1, y) and (x, y±1).
+type mesh2d4 struct {
+	base
+}
+
+var offsets2d4 = [][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}}
+
+// NewMesh2D4 constructs an m x n 2D mesh with 4 neighbors.
+func NewMesh2D4(m, n int) Topology {
+	t := mesh2d4{base{m: m, n: n, l: 1}}
+	t.check2D("Mesh2D4")
+	return t
+}
+
+func (t mesh2d4) Kind() Kind     { return Mesh2D4 }
+func (t mesh2d4) MaxDegree() int { return 4 }
+
+// OptimalETR is 3/4: a non-source relay's transmitter already holds the
+// message, so at most 3 of its 4 neighbors receive it fresh (Table 1).
+func (t mesh2d4) OptimalETR() (int, int) { return 3, 4 }
+
+func (t mesh2d4) Neighbors(c Coord, dst []Coord) []Coord {
+	return neighborsFromOffsets(t.base, c, offsets2d4, dst)
+}
+
+func (t mesh2d4) Connected(a, b Coord) bool {
+	if !t.Contains(a) || !t.Contains(b) {
+		return false
+	}
+	return a.ManhattanTo(b) == 1 && a.Z == b.Z
+}
+
+func (t mesh2d4) Degree(c Coord) int {
+	d := 0
+	if c.X > 1 {
+		d++
+	}
+	if c.X < t.m {
+		d++
+	}
+	if c.Y > 1 {
+		d++
+	}
+	if c.Y < t.n {
+		d++
+	}
+	return d
+}

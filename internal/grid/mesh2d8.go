@@ -1,0 +1,58 @@
+package grid
+
+// mesh2d8 is the 2D mesh with 8 neighbors (Fig. 3): node (x, y) is
+// connected to the four axis neighbors and the four diagonal neighbors
+// (x±1, y±1).
+type mesh2d8 struct {
+	base
+}
+
+var offsets2d8 = [][3]int{
+	{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0},
+	{-1, -1, 0}, {1, -1, 0}, {-1, 1, 0}, {1, 1, 0},
+}
+
+// NewMesh2D8 constructs an m x n 2D mesh with 8 neighbors.
+func NewMesh2D8(m, n int) Topology {
+	t := mesh2d8{base{m: m, n: n, l: 1}}
+	t.check2D("Mesh2D8")
+	return t
+}
+
+func (t mesh2d8) Kind() Kind     { return Mesh2D8 }
+func (t mesh2d8) MaxDegree() int { return 8 }
+
+// OptimalETR is 5/8: a diagonal forward covers 5 fresh neighbors out of
+// 8 (Fig. 6 and Table 1) — the sender's own neighborhood overlaps the
+// receiver's in 3 nodes.
+func (t mesh2d8) OptimalETR() (int, int) { return 5, 8 }
+
+func (t mesh2d8) Neighbors(c Coord, dst []Coord) []Coord {
+	return neighborsFromOffsets(t.base, c, offsets2d8, dst)
+}
+
+func (t mesh2d8) Connected(a, b Coord) bool {
+	if !t.Contains(a) || !t.Contains(b) {
+		return false
+	}
+	return a.Z == b.Z && a.ChebyshevTo(b) == 1
+}
+
+func (t mesh2d8) Degree(c Coord) int {
+	dx := 0
+	if c.X > 1 {
+		dx++
+	}
+	if c.X < t.m {
+		dx++
+	}
+	dy := 0
+	if c.Y > 1 {
+		dy++
+	}
+	if c.Y < t.n {
+		dy++
+	}
+	// (dx+1)*(dy+1) cells in the Moore neighborhood including self.
+	return (dx+1)*(dy+1) - 1
+}

@@ -1,0 +1,61 @@
+package grid
+
+// mesh3d6 is the 3D mesh with 6 neighbors (Fig. 4): stacked XY planes
+// of the 2D mesh with 4 neighbors, with additional links along the Z
+// axis. Node (x, y, z) is connected to (x±1, y, z), (x, y±1, z) and
+// (x, y, z±1).
+type mesh3d6 struct {
+	base
+}
+
+var offsets3d6 = [][3]int{
+	{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1},
+}
+
+// NewMesh3D6 constructs an m x n x l 3D mesh with 6 neighbors.
+func NewMesh3D6(m, n, l int) Topology {
+	if m < 1 || n < 1 || l < 1 {
+		panic("grid: Mesh3D6 requires m, n, l >= 1")
+	}
+	return mesh3d6{base{m: m, n: n, l: l}}
+}
+
+func (t mesh3d6) Kind() Kind     { return Mesh3D6 }
+func (t mesh3d6) MaxDegree() int { return 6 }
+
+// OptimalETR is 5/6 (Table 1).
+func (t mesh3d6) OptimalETR() (int, int) { return 5, 6 }
+
+func (t mesh3d6) Neighbors(c Coord, dst []Coord) []Coord {
+	return neighborsFromOffsets(t.base, c, offsets3d6, dst)
+}
+
+func (t mesh3d6) Connected(a, b Coord) bool {
+	if !t.Contains(a) || !t.Contains(b) {
+		return false
+	}
+	return a.ManhattanTo(b) == 1
+}
+
+func (t mesh3d6) Degree(c Coord) int {
+	d := 0
+	if c.X > 1 {
+		d++
+	}
+	if c.X < t.m {
+		d++
+	}
+	if c.Y > 1 {
+		d++
+	}
+	if c.Y < t.n {
+		d++
+	}
+	if c.Z > 1 {
+		d++
+	}
+	if c.Z < t.l {
+		d++
+	}
+	return d
+}

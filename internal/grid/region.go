@@ -1,0 +1,56 @@
+package grid
+
+// Region partition for the 2D mesh with 3 neighbors (Section 3.3,
+// Fig. 8). The source picks two base nodes (i_a, j_a) below it and
+// (i_b, j_b) above it; region 2 is the diagonal cone below the lower
+// base node, region 3 the diagonal cone above the upper base node, and
+// region 1 everything else.
+
+// Region identifies one of the three relay-selection regions.
+type Region int
+
+const (
+	// Region1 is the middle band around the source's row.
+	Region1 Region = 1
+	// Region2 is the cone below the lower base node:
+	// x+y <= i_a+j_a and x-y >= i_a-j_a.
+	Region2 Region = 2
+	// Region3 is the cone above the upper base node:
+	// x+y >= i_b+j_b and x-y <= i_b-j_b.
+	Region3 Region = 3
+)
+
+// BaseNodes returns the two base nodes (i_a, j_a) and (i_b, j_b) of a
+// source in the 2D mesh with 3 neighbors:
+//
+//	if node (i, j-1) is a neighbor of source (i, j):
+//	    (i_a, j_a) = (i, j-2), (i_b, j_b) = (i, j+1)
+//	else:
+//	    (i_a, j_a) = (i, j-1), (i_b, j_b) = (i, j+2)
+//
+// The base nodes may fall outside the mesh for sources near the top or
+// bottom border; the region tests still apply (the out-of-mesh cone is
+// simply empty or clipped).
+func BaseNodes(src Coord) (a, b Coord) {
+	if VerticalDown(src) {
+		return src.Add(0, -2, 0), src.Add(0, 1, 0)
+	}
+	return src.Add(0, -1, 0), src.Add(0, 2, 0)
+}
+
+// RegionOf classifies node c with respect to the given source of a 2D
+// mesh with 3 neighbors broadcast (Section 3.3):
+//
+//	region 2: x+y <= i_a+j_a and x-y >= i_a-j_a
+//	region 3: x+y >= i_b+j_b and x-y <= i_b-j_b
+//	region 1: otherwise
+func RegionOf(src, c Coord) Region {
+	a, b := BaseNodes(src)
+	if c.S1() <= a.S1() && c.S2() >= a.S2() {
+		return Region2
+	}
+	if c.S1() >= b.S1() && c.S2() <= b.S2() {
+		return Region3
+	}
+	return Region1
+}

@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Base-node selection follows Section 3.3 exactly.
+func TestBaseNodes(t *testing.T) {
+	// Source (10,7): 10+7 odd -> vertical down exists -> a=(10,5), b=(10,8).
+	a, b := BaseNodes(C2(10, 7))
+	if a != C2(10, 5) || b != C2(10, 8) {
+		t.Errorf("BaseNodes(10,7) = %v,%v, want (10,5),(10,8)", a, b)
+	}
+	// Source (5,4): 5+4 odd -> vertical down exists -> a=(5,2), b=(5,5).
+	a, b = BaseNodes(C2(5, 4))
+	if a != C2(5, 2) || b != C2(5, 5) {
+		t.Errorf("BaseNodes(5,4) = %v,%v, want (5,2),(5,5)", a, b)
+	}
+	// Source (6,4): 6+4 even -> vertical up exists (down does not)
+	// -> a=(6,3), b=(6,6).
+	a, b = BaseNodes(C2(6, 4))
+	if a != C2(6, 3) || b != C2(6, 6) {
+		t.Errorf("BaseNodes(6,4) = %v,%v, want (6,3),(6,6)", a, b)
+	}
+}
+
+// The three regions partition every mesh: each node is in exactly one.
+func TestRegionPartition(t *testing.T) {
+	topo := NewMesh2D3(20, 14)
+	for s := 0; s < topo.NumNodes(); s++ {
+		src := topo.At(s)
+		counts := map[Region]int{}
+		for i := 0; i < topo.NumNodes(); i++ {
+			r := RegionOf(src, topo.At(i))
+			if r != Region1 && r != Region2 && r != Region3 {
+				t.Fatalf("RegionOf(%v,%v) = %d", src, topo.At(i), r)
+			}
+			counts[r]++
+		}
+		total := counts[Region1] + counts[Region2] + counts[Region3]
+		if total != topo.NumNodes() {
+			t.Fatalf("src %v: regions cover %d of %d", src, total, topo.NumNodes())
+		}
+	}
+}
+
+// The source and its base nodes classify as expected: base node a is
+// the apex of region 2, base node b the apex of region 3, the source
+// itself is in region 1.
+func TestRegionApexes(t *testing.T) {
+	src := C2(10, 7)
+	a, b := BaseNodes(src)
+	if r := RegionOf(src, src); r != Region1 {
+		t.Errorf("source region = %v, want 1", r)
+	}
+	if r := RegionOf(src, a); r != Region2 {
+		t.Errorf("base a region = %v, want 2", r)
+	}
+	if r := RegionOf(src, b); r != Region3 {
+		t.Errorf("base b region = %v, want 3", r)
+	}
+}
+
+// Region 2 lies strictly below the source row minus one; region 3
+// strictly above. (The cones open downward/upward from the base nodes.)
+func TestRegionVerticalSeparation(t *testing.T) {
+	f := func(sx, sy, cx, cy uint8) bool {
+		src := C2(int(sx)%24+1, int(sy)%24+4) // keep base nodes meaningful
+		c := C2(int(cx)%24+1, int(cy)%24+1)
+		a, b := BaseNodes(src)
+		switch RegionOf(src, c) {
+		case Region2:
+			return c.Y <= a.Y
+		case Region3:
+			return c.Y >= b.Y
+		default:
+			return true
+		}
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Nodes directly below the source (same column, far down) are in
+// region 2; far up in region 3; far left/right on the source row in
+// region 1.
+func TestRegionDirections(t *testing.T) {
+	src := C2(10, 7)
+	if r := RegionOf(src, C2(10, 1)); r != Region2 {
+		t.Errorf("below = %v, want 2", r)
+	}
+	if r := RegionOf(src, C2(10, 14)); r != Region3 {
+		t.Errorf("above = %v, want 3", r)
+	}
+	if r := RegionOf(src, C2(1, 7)); r != Region1 {
+		t.Errorf("left = %v, want 1", r)
+	}
+	if r := RegionOf(src, C2(20, 7)); r != Region1 {
+		t.Errorf("right = %v, want 1", r)
+	}
+}

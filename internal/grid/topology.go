@@ -1,0 +1,151 @@
+// Package grid defines the four regular wireless-sensor-network
+// topologies evaluated by the paper (2D mesh with 3, 4 and 8 neighbors,
+// 3D mesh with 6 neighbors), plus the diagonal-axis and region geometry
+// the broadcasting protocols are expressed in.
+//
+// The package is pure geometry: it answers "who are my neighbors",
+// "which diagonal set am I in", "which region am I in" — it knows
+// nothing about relays, slots or energy.
+package grid
+
+import "fmt"
+
+// Kind enumerates the four regular topologies of the paper.
+type Kind int
+
+const (
+	// Mesh2D3 is the 2D mesh with 3 neighbors (Fig. 1): a brick-wall
+	// grid where every node has both horizontal neighbors and exactly
+	// one vertical neighbor.
+	Mesh2D3 Kind = iota
+	// Mesh2D4 is the 2D mesh with 4 neighbors (Fig. 2): the standard
+	// von-Neumann grid.
+	Mesh2D4
+	// Mesh2D8 is the 2D mesh with 8 neighbors (Fig. 3): the Moore grid
+	// with diagonal links.
+	Mesh2D8
+	// Mesh3D6 is the 3D mesh with 6 neighbors (Fig. 4): stacked XY
+	// planes of Mesh2D4 with Z links.
+	Mesh3D6
+)
+
+// String returns the short name used throughout the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case Mesh2D3:
+		return "2D-3"
+	case Mesh2D4:
+		return "2D-4"
+	case Mesh2D8:
+		return "2D-8"
+	case Mesh3D6:
+		return "3D-6"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all four topologies in the paper's table order.
+func Kinds() []Kind { return []Kind{Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6} }
+
+// Topology is pure mesh geometry. Implementations are immutable and
+// safe for concurrent use.
+type Topology interface {
+	// Kind identifies which of the four regular topologies this is.
+	Kind() Kind
+	// Size returns the mesh dimensions (m, n, l). For 2D meshes l == 1.
+	Size() (m, n, l int)
+	// NumNodes returns m * n * l.
+	NumNodes() int
+	// Contains reports whether the coordinate is inside the mesh.
+	Contains(c Coord) bool
+	// Neighbors appends the directly connected nodes of c to dst and
+	// returns the extended slice. Border nodes have fewer neighbors
+	// than MaxDegree. The order is deterministic.
+	Neighbors(c Coord, dst []Coord) []Coord
+	// Connected reports whether a and b are directly connected.
+	Connected(a, b Coord) bool
+	// Degree returns the actual number of neighbors of c (border-aware).
+	Degree(c Coord) int
+	// MaxDegree returns the nominal number of neighbors N of the
+	// topology (3, 4, 8 or 6), the denominator of the ETR.
+	MaxDegree() int
+	// Index maps a coordinate to a dense index in [0, NumNodes).
+	Index(c Coord) int
+	// At is the inverse of Index.
+	At(i int) Coord
+	// OptimalETR returns the paper's optimal efficient transmission
+	// ratio for a non-source relay as an exact fraction (Table 1).
+	OptimalETR() (num, den int)
+}
+
+// base carries the shared size bookkeeping of all four topologies.
+type base struct {
+	m, n, l int
+}
+
+func (b base) Size() (int, int, int) { return b.m, b.n, b.l }
+
+func (b base) NumNodes() int { return b.m * b.n * b.l }
+
+func (b base) Contains(c Coord) bool {
+	return c.X >= 1 && c.X <= b.m &&
+		c.Y >= 1 && c.Y <= b.n &&
+		c.Z >= 1 && c.Z <= b.l
+}
+
+func (b base) Index(c Coord) int {
+	return (c.Z-1)*b.m*b.n + (c.Y-1)*b.m + (c.X - 1)
+}
+
+func (b base) At(i int) Coord {
+	plane := b.m * b.n
+	z := i / plane
+	r := i % plane
+	return Coord{X: r%b.m + 1, Y: r/b.m + 1, Z: z + 1}
+}
+
+func (b base) check2D(kind string) {
+	if b.m < 1 || b.n < 1 {
+		panic(fmt.Sprintf("grid: %s requires m, n >= 1 (got %dx%d)", kind, b.m, b.n))
+	}
+}
+
+// New constructs the topology of the given kind. For 2D kinds l is
+// ignored and forced to 1; for Mesh3D6 all three dimensions are used.
+func New(k Kind, m, n, l int) Topology {
+	switch k {
+	case Mesh2D3:
+		return NewMesh2D3(m, n)
+	case Mesh2D4:
+		return NewMesh2D4(m, n)
+	case Mesh2D8:
+		return NewMesh2D8(m, n)
+	case Mesh3D6:
+		return NewMesh3D6(m, n, l)
+	default:
+		panic(fmt.Sprintf("grid: unknown topology kind %d", int(k)))
+	}
+}
+
+// Canonical returns the 512-node configuration of the paper's
+// evaluation (Section 4): a 32x16 mesh for the 2D topologies and an
+// 8x8x8 mesh for the 3D topology.
+func Canonical(k Kind) Topology {
+	if k == Mesh3D6 {
+		return NewMesh3D6(8, 8, 8)
+	}
+	return New(k, 32, 16, 1)
+}
+
+// neighborsFromOffsets is the shared neighbor enumeration for the
+// offset-defined topologies.
+func neighborsFromOffsets(b base, c Coord, offs [][3]int, dst []Coord) []Coord {
+	for _, o := range offs {
+		nb := c.Add(o[0], o[1], o[2])
+		if b.Contains(nb) {
+			dst = append(dst, nb)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,389 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+)
+
+// allTestTopologies returns a mix of sizes for each kind, including
+// degenerate and canonical ones.
+func allTestTopologies() []Topology {
+	return []Topology{
+		NewMesh2D3(8, 8), NewMesh2D3(32, 16), NewMesh2D3(5, 3), NewMesh2D3(1, 1),
+		NewMesh2D4(8, 8), NewMesh2D4(32, 16), NewMesh2D4(5, 3), NewMesh2D4(1, 4),
+		NewMesh2D8(8, 8), NewMesh2D8(32, 16), NewMesh2D8(14, 14), NewMesh2D8(2, 2),
+		NewMesh3D6(8, 8, 8), NewMesh3D6(4, 3, 2), NewMesh3D6(1, 1, 5),
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Mesh2D3: "2D-3", Mesh2D4: "2D-4", Mesh2D8: "2D-8", Mesh3D6: "3D-6"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), w)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestKindsOrder(t *testing.T) {
+	ks := Kinds()
+	want := []Kind{Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6}
+	if len(ks) != len(want) {
+		t.Fatalf("Kinds() = %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("Kinds()[%d] = %v, want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestNewDispatch(t *testing.T) {
+	for _, k := range Kinds() {
+		topo := New(k, 6, 5, 4)
+		if topo.Kind() != k {
+			t.Errorf("New(%v).Kind() = %v", k, topo.Kind())
+		}
+		m, n, l := topo.Size()
+		if m != 6 || n != 5 {
+			t.Errorf("New(%v).Size() = %d,%d,%d", k, m, n, l)
+		}
+		if k == Mesh3D6 && l != 4 {
+			t.Errorf("3D l = %d, want 4", l)
+		}
+		if k != Mesh3D6 && l != 1 {
+			t.Errorf("2D l = %d, want 1", l)
+		}
+	}
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown kind did not panic")
+		}
+	}()
+	New(Kind(42), 4, 4, 1)
+}
+
+func TestBadSizePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMesh2D4(0, 4) },
+		func() { NewMesh2D3(4, 0) },
+		func() { NewMesh2D8(-1, 4) },
+		func() { NewMesh3D6(4, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad size did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Canonical must return the paper's 512-node configurations.
+func TestCanonical(t *testing.T) {
+	for _, k := range Kinds() {
+		topo := Canonical(k)
+		if topo.NumNodes() != 512 {
+			t.Errorf("Canonical(%v).NumNodes() = %d, want 512", k, topo.NumNodes())
+		}
+		m, n, l := topo.Size()
+		if k == Mesh3D6 {
+			if m != 8 || n != 8 || l != 8 {
+				t.Errorf("Canonical(3D-6) = %dx%dx%d", m, n, l)
+			}
+		} else if m != 32 || n != 16 {
+			t.Errorf("Canonical(%v) = %dx%d", k, m, n)
+		}
+	}
+}
+
+// Table 1 of the paper: optimal ETRs 2/3, 3/4, 5/8, 5/6.
+func TestOptimalETRTable1(t *testing.T) {
+	want := map[Kind][2]int{
+		Mesh2D3: {2, 3}, Mesh2D4: {3, 4}, Mesh2D8: {5, 8}, Mesh3D6: {5, 6},
+	}
+	for k, w := range want {
+		num, den := Canonical(k).OptimalETR()
+		if num != w[0] || den != w[1] {
+			t.Errorf("%v optimal ETR = %d/%d, want %d/%d", k, num, den, w[0], w[1])
+		}
+	}
+}
+
+func TestIndexAtRoundTrip(t *testing.T) {
+	for _, topo := range allTestTopologies() {
+		seen := make(map[int]bool)
+		for i := 0; i < topo.NumNodes(); i++ {
+			c := topo.At(i)
+			if !topo.Contains(c) {
+				t.Fatalf("%v: At(%d) = %v outside mesh", topo.Kind(), i, c)
+			}
+			if j := topo.Index(c); j != i {
+				t.Fatalf("%v: Index(At(%d)) = %d", topo.Kind(), i, j)
+			}
+			if seen[i] {
+				t.Fatalf("%v: duplicate index %d", topo.Kind(), i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestContainsBorders(t *testing.T) {
+	topo := NewMesh3D6(4, 3, 2)
+	in := []Coord{C3(1, 1, 1), C3(4, 3, 2), C3(2, 2, 1)}
+	out := []Coord{C3(0, 1, 1), C3(5, 3, 2), C3(4, 4, 2), C3(4, 3, 3), C3(1, 0, 1), C3(1, 1, 0)}
+	for _, c := range in {
+		if !topo.Contains(c) {
+			t.Errorf("Contains(%v) = false", c)
+		}
+	}
+	for _, c := range out {
+		if topo.Contains(c) {
+			t.Errorf("Contains(%v) = true", c)
+		}
+	}
+}
+
+// Neighbor lists must be symmetric, in-mesh, deduplicated, consistent
+// with Connected and Degree, and bounded by MaxDegree.
+func TestNeighborInvariants(t *testing.T) {
+	for _, topo := range allTestTopologies() {
+		var buf []Coord
+		for i := 0; i < topo.NumNodes(); i++ {
+			c := topo.At(i)
+			buf = topo.Neighbors(c, buf[:0])
+			if len(buf) != topo.Degree(c) {
+				t.Fatalf("%v %v: len(Neighbors) = %d, Degree = %d",
+					topo.Kind(), c, len(buf), topo.Degree(c))
+			}
+			if len(buf) > topo.MaxDegree() {
+				t.Fatalf("%v %v: degree %d > max %d", topo.Kind(), c, len(buf), topo.MaxDegree())
+			}
+			seen := make(map[Coord]bool, len(buf))
+			for _, nb := range buf {
+				if nb == c {
+					t.Fatalf("%v %v: self neighbor", topo.Kind(), c)
+				}
+				if !topo.Contains(nb) {
+					t.Fatalf("%v %v: neighbor %v outside mesh", topo.Kind(), c, nb)
+				}
+				if seen[nb] {
+					t.Fatalf("%v %v: duplicate neighbor %v", topo.Kind(), c, nb)
+				}
+				seen[nb] = true
+				if !topo.Connected(c, nb) || !topo.Connected(nb, c) {
+					t.Fatalf("%v: Connected(%v,%v) inconsistent with Neighbors", topo.Kind(), c, nb)
+				}
+				// Symmetry: c must be in nb's neighbor list.
+				back := topo.Neighbors(nb, nil)
+				found := false
+				for _, b := range back {
+					if b == c {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%v: %v -> %v not symmetric", topo.Kind(), c, nb)
+				}
+			}
+		}
+	}
+}
+
+// Interior nodes must have exactly MaxDegree neighbors.
+func TestInteriorDegree(t *testing.T) {
+	for _, topo := range []Topology{
+		NewMesh2D3(8, 8), NewMesh2D4(8, 8), NewMesh2D8(8, 8), NewMesh3D6(5, 5, 5),
+	} {
+		c := C3(3, 3, 3)
+		if _, _, l := topo.Size(); l == 1 {
+			c = C2(3, 3)
+		}
+		if d := topo.Degree(c); d != topo.MaxDegree() {
+			t.Errorf("%v interior degree = %d, want %d", topo.Kind(), d, topo.MaxDegree())
+		}
+	}
+}
+
+// Connected must reject out-of-mesh endpoints and non-adjacent pairs.
+func TestConnectedRejects(t *testing.T) {
+	for _, topo := range allTestTopologies() {
+		m, n, l := topo.Size()
+		if topo.Connected(C3(1, 1, 1), C3(0, 1, 1)) {
+			t.Errorf("%v: connected to out-of-mesh node", topo.Kind())
+		}
+		if m >= 4 && topo.Connected(C2(1, 1), C2(4, 1)) {
+			t.Errorf("%v: distant nodes connected", topo.Kind())
+		}
+		_ = n
+		_ = l
+	}
+}
+
+// The handshake lemma: sum of degrees is even, and equals twice the
+// edge count computed from Connected.
+func TestHandshake(t *testing.T) {
+	for _, topo := range []Topology{
+		NewMesh2D3(7, 5), NewMesh2D4(7, 5), NewMesh2D8(7, 5), NewMesh3D6(4, 3, 3),
+	} {
+		sum := 0
+		edges := 0
+		for i := 0; i < topo.NumNodes(); i++ {
+			a := topo.At(i)
+			sum += topo.Degree(a)
+			for j := i + 1; j < topo.NumNodes(); j++ {
+				if topo.Connected(a, topo.At(j)) {
+					edges++
+				}
+			}
+		}
+		if sum != 2*edges {
+			t.Errorf("%v: degree sum %d != 2*edges %d", topo.Kind(), sum, 2*edges)
+		}
+	}
+}
+
+// Expected total edge counts for small meshes, computed by hand:
+//   - 2D-4 m x n: (m-1)n + m(n-1)
+//   - 2D-8 m x n: (m-1)n + m(n-1) + 2(m-1)(n-1)
+//   - 3D-6 m x n x l: [(m-1)n + m(n-1)]l + mn(l-1)
+//   - 2D-3 m x n: (m-1)n horizontal + vertical edges at even x+y
+func TestEdgeCounts(t *testing.T) {
+	count := func(topo Topology) int {
+		edges := 0
+		for i := 0; i < topo.NumNodes(); i++ {
+			edges += topo.Degree(topo.At(i))
+		}
+		return edges / 2
+	}
+	if got := count(NewMesh2D4(4, 3)); got != (3*3 + 4*2) {
+		t.Errorf("2D-4 4x3 edges = %d, want 17", got)
+	}
+	if got := count(NewMesh2D8(4, 3)); got != (3*3 + 4*2 + 2*3*2) {
+		t.Errorf("2D-8 4x3 edges = %d, want 29", got)
+	}
+	if got := count(NewMesh3D6(4, 3, 2)); got != (17*2 + 12) {
+		t.Errorf("3D-6 4x3x2 edges = %d, want 46", got)
+	}
+	// 2D-3 4x3: horizontal (4-1)*3 = 9; vertical: for y in {1,2}, x+y
+	// even -> x in {odd/even}: y=1: x in {1,3}: 2; y=2: x in {2,4}: 2.
+	if got := count(NewMesh2D3(4, 3)); got != 9+4 {
+		t.Errorf("2D-3 4x3 edges = %d, want 13", got)
+	}
+}
+
+// Each topology must be connected (single broadcast component).
+func TestConnectivityBFS(t *testing.T) {
+	for _, topo := range allTestTopologies() {
+		visited := make([]bool, topo.NumNodes())
+		queue := []int{0}
+		visited[0] = true
+		seen := 1
+		var buf []Coord
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			buf = topo.Neighbors(topo.At(cur), buf[:0])
+			for _, nb := range buf {
+				j := topo.Index(nb)
+				if !visited[j] {
+					visited[j] = true
+					seen++
+					queue = append(queue, j)
+				}
+			}
+		}
+		if seen != topo.NumNodes() {
+			t.Errorf("%v %v: graph not connected: reached %d of %d",
+				topo.Kind(), sizeString(topo), seen, topo.NumNodes())
+		}
+	}
+}
+
+func sizeString(t Topology) string {
+	m, n, l := t.Size()
+	if l == 1 {
+		return itoa(m) + "x" + itoa(n)
+	}
+	return itoa(m) + "x" + itoa(n) + "x" + itoa(l)
+}
+
+func itoa(v int) string {
+	return string(appendInt(nil, v))
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// Neighbor order must be deterministic.
+func TestNeighborsDeterministic(t *testing.T) {
+	for _, topo := range allTestTopologies() {
+		c := topo.At(topo.NumNodes() / 2)
+		a := topo.Neighbors(c, nil)
+		b := topo.Neighbors(c, nil)
+		if len(a) != len(b) {
+			t.Fatalf("%v: nondeterministic neighbor count", topo.Kind())
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: nondeterministic neighbor order", topo.Kind())
+			}
+		}
+	}
+}
+
+// Neighbors must reuse the destination slice without reallocating when
+// capacity suffices (alloc-free hot path for the simulator).
+func TestNeighborsAppendNoAlloc(t *testing.T) {
+	topo := NewMesh2D8(10, 10)
+	buf := make([]Coord, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = topo.Neighbors(C2(5, 5), buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("Neighbors allocated %v times per run", allocs)
+	}
+}
+
+// Sorted neighbor offsets of 2D-8 cover the full Moore neighborhood.
+func TestMesh2D8MooreNeighborhood(t *testing.T) {
+	topo := NewMesh2D8(5, 5)
+	nbs := topo.Neighbors(C2(3, 3), nil)
+	if len(nbs) != 8 {
+		t.Fatalf("interior 2D-8 degree = %d", len(nbs))
+	}
+	sort.Slice(nbs, func(i, j int) bool {
+		if nbs[i].Y != nbs[j].Y {
+			return nbs[i].Y < nbs[j].Y
+		}
+		return nbs[i].X < nbs[j].X
+	})
+	want := []Coord{
+		C2(2, 2), C2(3, 2), C2(4, 2),
+		C2(2, 3), C2(4, 3),
+		C2(2, 4), C2(3, 4), C2(4, 4),
+	}
+	for i := range want {
+		if nbs[i] != want[i] {
+			t.Fatalf("moore[%d] = %v, want %v", i, nbs[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package pipeline extends the paper's one-shot broadcast to streams
+// of packets: the source injects a new packet every Interval slots and
+// every packet follows the same relay schedule. Different packets
+// interfere on the shared channel — a node decodes nothing in a slot
+// where two transmissions overlap, whatever packets they carry — so
+// the launch interval controls the trade between throughput and
+// collisions. This models the firmware-dissemination workload the
+// paper's introduction motivates (and is the natural "what's next"
+// beyond its single-message evaluation).
+package pipeline
+
+import (
+	"fmt"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+	"wsnbcast/internal/sim"
+)
+
+// Config parameterizes a pipelined dissemination.
+type Config struct {
+	// Packets is the number of packets the source injects (>= 1).
+	Packets int
+	// Interval is the number of slots between consecutive injections
+	// (>= 1).
+	Interval int
+	// Model and Packet default to the paper's radio parameters.
+	Model  radio.Model
+	Packet radio.Packet
+	// MaxSlots bounds the simulation (0 = automatic).
+	MaxSlots int
+}
+
+// PacketStats reports one packet's fate.
+type PacketStats struct {
+	// Injected is the slot the source transmitted the packet first.
+	Injected int
+	// Reached is how many nodes decoded the packet.
+	Reached int
+	// Delay is the slot of the packet's last first-decode, relative to
+	// its injection; -1 if the packet reached no one beyond the source.
+	Delay int
+}
+
+// Result aggregates a pipelined run.
+type Result struct {
+	Kind     grid.Kind
+	Protocol string
+	Source   grid.Coord
+	Total    int
+
+	Packets  []PacketStats
+	Tx, Rx   int
+	EnergyJ  float64
+	Slots    int // last slot with activity
+	Collides int
+
+	// Delivered reports whether every packet reached every node.
+	Delivered bool
+}
+
+// Throughput returns delivered packets per slot over the whole run.
+func (r *Result) Throughput() float64 {
+	if r.Slots <= 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range r.Packets {
+		if p.Reached == r.Total {
+			n++
+		}
+	}
+	return float64(n) / float64(r.Slots)
+}
+
+// Run simulates the pipelined dissemination of cfg.Packets packets.
+func Run(t grid.Topology, p sim.Protocol, src grid.Coord, cfg Config) (*Result, error) {
+	if !t.Contains(src) {
+		return nil, fmt.Errorf("pipeline: source %s outside mesh", src)
+	}
+	if cfg.Packets < 1 {
+		return nil, fmt.Errorf("pipeline: need at least 1 packet, got %d", cfg.Packets)
+	}
+	if cfg.Interval < 1 {
+		return nil, fmt.Errorf("pipeline: interval must be >= 1, got %d", cfg.Interval)
+	}
+	if cfg.Model == (radio.Model{}) {
+		cfg.Model = radio.Default()
+	}
+	if cfg.Packet == (radio.Packet{}) {
+		cfg.Packet = radio.CanonicalPacket()
+	}
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = 1024 + 64*t.NumNodes() + cfg.Packets*cfg.Interval
+	}
+
+	v := t.NumNodes()
+	adj := make([][]int32, v)
+	var nbuf []grid.Coord
+	for i := 0; i < v; i++ {
+		nbuf = t.Neighbors(t.At(i), nbuf[:0])
+		row := make([]int32, len(nbuf))
+		for k, nb := range nbuf {
+			row[k] = int32(t.Index(nb))
+		}
+		adj[i] = row
+	}
+
+	// Per-node protocol roles (identical for every packet).
+	relay := make([]bool, v)
+	delay := make([]int, v)
+	retx := make([][]int, v)
+	srcIdx := t.Index(src)
+	for i := 0; i < v; i++ {
+		c := t.At(i)
+		relay[i] = p.IsRelay(t, src, c)
+		if d := p.TxDelay(t, src, c); d >= 1 {
+			delay[i] = d
+		} else {
+			delay[i] = 1
+		}
+		for _, off := range p.Retransmits(t, src, c) {
+			if off >= 1 {
+				retx[i] = append(retx[i], off)
+			}
+		}
+	}
+
+	res := &Result{
+		Kind:     t.Kind(),
+		Protocol: p.Name(),
+		Source:   src,
+		Total:    v,
+		Packets:  make([]PacketStats, cfg.Packets),
+	}
+
+	// decode[pkt*v + node] = first decode slot, -1 never.
+	decode := make([]int, cfg.Packets*v)
+	for i := range decode {
+		decode[i] = -1
+	}
+	type txev struct {
+		node int32
+		pkt  int32
+	}
+	pending := map[int][]txev{}
+	outstanding := 0
+	schedule := func(slot int, node int32, pkt int32) {
+		pending[slot] = append(pending[slot], txev{node, pkt})
+		outstanding++
+	}
+	for k := 0; k < cfg.Packets; k++ {
+		inj := k * cfg.Interval
+		decode[k*v+srcIdx] = inj
+		res.Packets[k] = PacketStats{Injected: inj, Reached: 1, Delay: -1}
+		schedule(inj, int32(srcIdx), int32(k))
+		for _, off := range retx[srcIdx] {
+			schedule(inj+off, int32(srcIdx), int32(k))
+		}
+	}
+
+	hit := make([]int, v)       // transmissions heard this slot
+	hitPkt := make([]int32, v)  // the packet if exactly one
+	hitFrom := make([]int32, v) // the transmitter if exactly one
+	for slot := 0; outstanding > 0; slot++ {
+		if slot > cfg.MaxSlots {
+			return nil, fmt.Errorf("pipeline: exceeded %d slots", cfg.MaxSlots)
+		}
+		txs, ok := pending[slot]
+		if !ok {
+			continue
+		}
+		delete(pending, slot)
+		outstanding -= len(txs)
+		res.Slots = slot
+		var touched []int32
+		for _, tx := range txs {
+			res.Tx++
+			for _, nb := range adj[tx.node] {
+				res.Rx++
+				if hit[nb] == 0 {
+					touched = append(touched, nb)
+					hitPkt[nb] = tx.pkt
+					hitFrom[nb] = tx.node
+				}
+				hit[nb]++
+			}
+		}
+		for _, nb := range touched {
+			n := hit[nb]
+			hit[nb] = 0
+			if n >= 2 {
+				res.Collides++
+				continue
+			}
+			k := int(hitPkt[nb])
+			if decode[k*v+int(nb)] >= 0 {
+				continue // duplicate
+			}
+			decode[k*v+int(nb)] = slot
+			res.Packets[k].Reached++
+			if d := slot - res.Packets[k].Injected; d > res.Packets[k].Delay {
+				res.Packets[k].Delay = d
+			}
+			if relay[nb] {
+				first := slot + delay[nb]
+				schedule(first, nb, int32(k))
+				for _, off := range retx[nb] {
+					schedule(first+off, nb, int32(k))
+				}
+			}
+		}
+	}
+	_ = hitFrom
+
+	ledger := radio.NewLedger(cfg.Model, cfg.Packet)
+	ledger.AddTx(res.Tx)
+	ledger.AddRx(res.Rx)
+	res.EnergyJ = ledger.TotalJ()
+	res.Delivered = true
+	for _, ps := range res.Packets {
+		if ps.Reached != v {
+			res.Delivered = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// SafeInterval finds the smallest injection interval that delivers
+// every one of probe packets to every node (binary search over
+// [1, upper]; returns upper+1 if even upper fails). Probe with at
+// least 3 packets so steady-state interference between neighbors in
+// the pipeline is exercised.
+//
+// The protocol is snapshotted first: the single-packet broadcast runs
+// once through the scheduler (planned repairs included) and the frozen
+// schedule is what gets pipelined — matching how a deployment would
+// ship the repaired schedule to the nodes.
+func SafeInterval(t grid.Topology, p sim.Protocol, src grid.Coord, probe, upper int) (int, error) {
+	snap, _, err := sim.Snapshot(t, p, src, sim.Config{})
+	if err != nil {
+		return 0, err
+	}
+	p = snap
+	if probe < 1 {
+		probe = 3
+	}
+	ok := func(interval int) (bool, error) {
+		r, err := Run(t, p, src, Config{Packets: probe, Interval: interval})
+		if err != nil {
+			return false, err
+		}
+		return r.Delivered, nil
+	}
+	// The property is monotone in practice (larger interval = less
+	// interference); binary search for the boundary.
+	lo, hi := 1, upper
+	good, err := ok(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !good {
+		return upper + 1, nil
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

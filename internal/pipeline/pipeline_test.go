@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// A single packet through the pipeline must match the plain simulator
+// (same protocol roles, no planner repairs on 2D-4).
+func TestSinglePacketMatchesSim(t *testing.T) {
+	topo := grid.NewMesh2D4(16, 16)
+	src := grid.C2(6, 8)
+	pr, err := Run(topo, core.NewMesh4Protocol(), src, Config{Packets: 1, Interval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := sim.Run(topo, core.NewMesh4Protocol(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Tx != sr.Tx {
+		t.Errorf("pipeline Tx %d != sim Tx %d", pr.Tx, sr.Tx)
+	}
+	if pr.Rx != sr.Rx {
+		t.Errorf("pipeline Rx %d != sim Rx %d", pr.Rx, sr.Rx)
+	}
+	if pr.Packets[0].Delay != sr.Delay {
+		t.Errorf("pipeline delay %d != sim delay %d", pr.Packets[0].Delay, sr.Delay)
+	}
+	if !pr.Delivered {
+		t.Error("single packet not delivered")
+	}
+}
+
+// A generous interval delivers every packet; interval 1 jams the
+// channel.
+func TestIntervalExtremes(t *testing.T) {
+	topo := grid.NewMesh2D4(12, 12)
+	src := grid.C2(6, 6)
+	p := core.NewMesh4Protocol()
+
+	wide, err := Run(topo, p, src, Config{Packets: 4, Interval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wide.Delivered {
+		t.Errorf("wide interval failed: %+v", wide.Packets)
+	}
+
+	jam, err := Run(topo, p, src, Config{Packets: 4, Interval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jam.Delivered {
+		t.Error("interval 1 should jam the 2D-4 pipeline")
+	}
+}
+
+// SafeInterval finds a boundary: one less fails, the boundary works.
+func TestSafeInterval(t *testing.T) {
+	topo := grid.NewMesh2D4(12, 12)
+	src := grid.C2(6, 6)
+	p := core.NewMesh4Protocol()
+	safe, err := SafeInterval(topo, p, src, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe < 2 || safe > 64 {
+		t.Fatalf("safe interval = %d", safe)
+	}
+	r, err := Run(topo, p, src, Config{Packets: 4, Interval: safe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered {
+		t.Errorf("interval %d reported safe but failed", safe)
+	}
+	if safe > 1 {
+		r, err = Run(topo, p, src, Config{Packets: 4, Interval: safe - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Delivered {
+			t.Errorf("interval %d should fail if %d is minimal", safe-1, safe)
+		}
+	}
+	t.Logf("2D-4 12x12 safe interval: %d slots", safe)
+}
+
+// Pipelining beats sequential dissemination: K packets at the safe
+// interval finish much sooner than K full broadcasts back to back.
+func TestPipelineBeatsSequential(t *testing.T) {
+	topo := grid.NewMesh2D4(16, 16)
+	src := grid.C2(8, 8)
+	p := core.NewMesh4Protocol()
+	one, err := sim.Run(topo, p, src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe, err := SafeInterval(topo, p, src, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe > one.Delay {
+		t.Skipf("no pipelining headroom (safe=%d, delay=%d)", safe, one.Delay)
+	}
+	const k = 10
+	r, err := Run(topo, p, src, Config{Packets: k, Interval: safe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered {
+		t.Fatal("pipelined run failed at the safe interval")
+	}
+	sequential := k * (one.Delay + 1)
+	if r.Slots >= sequential {
+		t.Errorf("pipelined %d slots not better than sequential %d", r.Slots, sequential)
+	}
+	t.Logf("10 packets: pipelined %d slots vs sequential %d (interval %d)",
+		r.Slots, sequential, safe)
+}
+
+func TestThroughput(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(4, 4)
+	r, err := Run(topo, core.NewMesh4Protocol(), src, Config{Packets: 5, Interval: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / float64(r.Slots)
+	if got := r.Throughput(); got != want {
+		t.Errorf("throughput = %g, want %g", got, want)
+	}
+	empty := &Result{}
+	if empty.Throughput() != 0 {
+		t.Error("empty throughput")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	topo := grid.NewMesh2D4(4, 4)
+	p := core.NewMesh4Protocol()
+	if _, err := Run(topo, p, grid.C2(9, 9), Config{Packets: 1, Interval: 1}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := Run(topo, p, grid.C2(2, 2), Config{Packets: 0, Interval: 1}); err == nil {
+		t.Error("zero packets accepted")
+	}
+	if _, err := Run(topo, p, grid.C2(2, 2), Config{Packets: 1, Interval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+// Safe intervals exist for all four paper protocols on small canonical
+// sections.
+func TestSafeIntervalAllTopologies(t *testing.T) {
+	t.Parallel()
+	for _, k := range grid.Kinds() {
+		topo := grid.New(k, 8, 8, 4)
+		m, n, l := topo.Size()
+		src := grid.C3((m+1)/2, (n+1)/2, (l+1)/2)
+		safe, err := SafeInterval(topo, core.ForTopology(k), src, 3, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if safe > 256 {
+			t.Errorf("%v: no safe interval below 256", k)
+		}
+		t.Logf("%v 8x8(x4) safe interval: %d", k, safe)
+	}
+}

@@ -1,0 +1,132 @@
+// Package radio implements the First Order Radio Model the paper
+// adopts from LEACH (Heinzelman et al.) to evaluate per-transmission
+// power consumption (Section 2, equations (1) and (2)):
+//
+//	E_Tx(k, d) = E_elec*k + E_amp*k*d^2
+//	E_Rx(k)    = E_elec*k
+//
+// with E_elec = 50 nJ/bit and E_amp = 100 pJ/bit/m^2.
+package radio
+
+import "fmt"
+
+// Paper constants of the First Order Radio Model.
+const (
+	// ElecJPerBit is the electronics energy to run the transmitter or
+	// receiver circuitry: 50 nJ/bit.
+	ElecJPerBit = 50e-9
+	// AmpJPerBitM2 is the transmit-amplifier energy to overcome channel
+	// noise: 100 pJ/bit/m^2.
+	AmpJPerBitM2 = 100e-12
+)
+
+// Model is a first-order radio model instance. The zero value is not
+// useful; use Default or NewModel.
+type Model struct {
+	// ElecJPerBit is E_elec in J/bit.
+	ElecJPerBit float64
+	// AmpJPerBitM2 is E_amp in J/bit/m^2.
+	AmpJPerBitM2 float64
+}
+
+// Default returns the paper's model: E_elec = 50 nJ/bit,
+// E_amp = 100 pJ/bit/m^2.
+func Default() Model {
+	return Model{ElecJPerBit: ElecJPerBit, AmpJPerBitM2: AmpJPerBitM2}
+}
+
+// NewModel builds a model with custom constants (both must be
+// non-negative).
+func NewModel(elecJPerBit, ampJPerBitM2 float64) (Model, error) {
+	if elecJPerBit < 0 || ampJPerBitM2 < 0 {
+		return Model{}, fmt.Errorf("radio: negative energy constants (%g, %g)", elecJPerBit, ampJPerBitM2)
+	}
+	return Model{ElecJPerBit: elecJPerBit, AmpJPerBitM2: ampJPerBitM2}, nil
+}
+
+// TxEnergyJ returns E_Tx(k, d) in Joules for transmitting k bits over
+// d meters (equation (1)).
+func (m Model) TxEnergyJ(kBits int, dMeters float64) float64 {
+	k := float64(kBits)
+	return m.ElecJPerBit*k + m.AmpJPerBitM2*k*dMeters*dMeters
+}
+
+// RxEnergyJ returns E_Rx(k) in Joules for receiving k bits
+// (equation (2)).
+func (m Model) RxEnergyJ(kBits int) float64 {
+	return m.ElecJPerBit * float64(kBits)
+}
+
+// Packet describes one broadcast packet in the evaluation: its length
+// in bits and the neighbor distance in meters. The paper's canonical
+// evaluation uses k = 512 bits and d = 0.5 m.
+type Packet struct {
+	// Bits is the packet length k.
+	Bits int
+	// NeighborDistM is the distance d between adjacent nodes.
+	NeighborDistM float64
+}
+
+// CanonicalPacket is the paper's Section 4 configuration: 512-bit
+// packets, 0.5 m node spacing.
+func CanonicalPacket() Packet { return Packet{Bits: 512, NeighborDistM: 0.5} }
+
+// Validate reports whether the packet parameters are usable.
+func (p Packet) Validate() error {
+	if p.Bits <= 0 {
+		return fmt.Errorf("radio: packet length must be positive (got %d bits)", p.Bits)
+	}
+	if p.NeighborDistM <= 0 {
+		return fmt.Errorf("radio: neighbor distance must be positive (got %g m)", p.NeighborDistM)
+	}
+	return nil
+}
+
+// Ledger accumulates transmission and reception counts and converts
+// them into Joules under a model and packet. It mirrors the paper's
+// accounting: total power = Tx*E_Tx(k, d) + Rx*E_Rx(k).
+type Ledger struct {
+	Model  Model
+	Packet Packet
+	// Tx is the total number of transmissions.
+	Tx int
+	// Rx is the total number of receptions, counted per
+	// (transmitter, hearing neighbor) pair — duplicates and collided
+	// receptions included, exactly as the paper's Rx column.
+	Rx int
+}
+
+// NewLedger builds a ledger for the given model and packet.
+func NewLedger(m Model, p Packet) Ledger { return Ledger{Model: m, Packet: p} }
+
+// AddTx records n transmissions.
+func (l *Ledger) AddTx(n int) { l.Tx += n }
+
+// AddRx records n receptions.
+func (l *Ledger) AddRx(n int) { l.Rx += n }
+
+// TotalJ returns the total consumed energy in Joules.
+func (l Ledger) TotalJ() float64 {
+	return float64(l.Tx)*l.Model.TxEnergyJ(l.Packet.Bits, l.Packet.NeighborDistM) +
+		float64(l.Rx)*l.Model.RxEnergyJ(l.Packet.Bits)
+}
+
+// Timing. The paper measures delay in slots; to express it in seconds
+// a slot must fit one packet transmission at the radio's bitrate.
+// 250 kbit/s is the classic low-rate WSN figure (802.15.4-class
+// radios of the paper's era).
+const DefaultBitrateBps = 250_000
+
+// SlotSeconds returns the duration of one slot: the airtime of one
+// packet at the given bitrate.
+func SlotSeconds(p Packet, bitrateBps float64) float64 {
+	if bitrateBps <= 0 {
+		return 0
+	}
+	return float64(p.Bits) / bitrateBps
+}
+
+// DelaySeconds converts a slot-count delay to seconds.
+func DelaySeconds(slots int, p Packet, bitrateBps float64) float64 {
+	return float64(slots) * SlotSeconds(p, bitrateBps)
+}

@@ -1,0 +1,158 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestCanonicalEnergies(t *testing.T) {
+	m := Default()
+	p := CanonicalPacket()
+	// E_Tx(512, 0.5) = 50n*512 + 100p*512*0.25 = 2.56e-5 + 1.28e-8 J.
+	wantTx := 2.56e-5 + 1.28e-8
+	if got := m.TxEnergyJ(p.Bits, p.NeighborDistM); !almostEqual(got, wantTx, 1e-12) {
+		t.Errorf("TxEnergyJ = %g, want %g", got, wantTx)
+	}
+	// E_Rx(512) = 2.56e-5 J.
+	if got := m.RxEnergyJ(p.Bits); !almostEqual(got, 2.56e-5, 1e-12) {
+		t.Errorf("RxEnergyJ = %g, want %g", got, 2.56e-5)
+	}
+}
+
+// Cross-check against the paper's Table 2 (ideal case): for each
+// topology the paper reports Tx, Rx and the resulting Joules. Our
+// model must reproduce those Joules from their Tx/Rx counts to the
+// printed precision (3 significant digits).
+func TestTable2EnergyCrossCheck(t *testing.T) {
+	m := Default()
+	p := CanonicalPacket()
+	cases := []struct {
+		name   string
+		tx, rx int
+		wantJ  float64
+	}{
+		{"2D-3", 255, 765, 2.61e-2},
+		{"2D-4", 170, 680, 2.18e-2},
+		{"2D-8", 102, 816, 2.35e-2},
+		{"3D-6", 124, 744, 2.22e-2},
+	}
+	for _, tc := range cases {
+		l := NewLedger(m, p)
+		l.AddTx(tc.tx)
+		l.AddRx(tc.rx)
+		got := l.TotalJ()
+		if math.Abs(got-tc.wantJ) > 0.005e-2 {
+			t.Errorf("%s: TotalJ = %.4e, paper %.2e", tc.name, got, tc.wantJ)
+		}
+	}
+}
+
+func TestTxEnergyMonotonic(t *testing.T) {
+	m := Default()
+	f := func(k uint16, d float64) bool {
+		bits := int(k)%4096 + 1
+		dist := math.Mod(math.Abs(d), 100)
+		e1 := m.TxEnergyJ(bits, dist)
+		e2 := m.TxEnergyJ(bits, dist+1)
+		e3 := m.TxEnergyJ(bits+1, dist)
+		return e2 >= e1 && e3 > e1 && e1 >= m.RxEnergyJ(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroDistance(t *testing.T) {
+	m := Default()
+	if got, want := m.TxEnergyJ(100, 0), m.RxEnergyJ(100); got != want {
+		t.Errorf("TxEnergyJ(k,0) = %g, want E_elec*k = %g", got, want)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(-1, 0); err == nil {
+		t.Error("negative E_elec accepted")
+	}
+	if _, err := NewModel(0, -1); err == nil {
+		t.Error("negative E_amp accepted")
+	}
+	m, err := NewModel(1e-9, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ElecJPerBit != 1e-9 || m.AmpJPerBitM2 != 2e-12 {
+		t.Errorf("NewModel = %+v", m)
+	}
+}
+
+func TestPacketValidate(t *testing.T) {
+	if err := CanonicalPacket().Validate(); err != nil {
+		t.Errorf("canonical packet invalid: %v", err)
+	}
+	if err := (Packet{Bits: 0, NeighborDistM: 1}).Validate(); err == nil {
+		t.Error("zero-bit packet accepted")
+	}
+	if err := (Packet{Bits: 10, NeighborDistM: 0}).Validate(); err == nil {
+		t.Error("zero-distance packet accepted")
+	}
+	if err := (Packet{Bits: -5, NeighborDistM: -1}).Validate(); err == nil {
+		t.Error("negative packet accepted")
+	}
+}
+
+// Ledger energy must be additive: splitting the same counts across
+// multiple Add calls yields the same total.
+func TestLedgerAdditivity(t *testing.T) {
+	m := Default()
+	p := CanonicalPacket()
+	a := NewLedger(m, p)
+	a.AddTx(100)
+	a.AddRx(400)
+	b := NewLedger(m, p)
+	for i := 0; i < 100; i++ {
+		b.AddTx(1)
+		b.AddRx(4)
+	}
+	if a.TotalJ() != b.TotalJ() {
+		t.Errorf("additivity broken: %g != %g", a.TotalJ(), b.TotalJ())
+	}
+	if a.Tx != 100 || a.Rx != 400 {
+		t.Errorf("counts wrong: %+v", a)
+	}
+}
+
+func TestLedgerQuickLinear(t *testing.T) {
+	m := Default()
+	p := CanonicalPacket()
+	f := func(tx, rx uint16) bool {
+		l := NewLedger(m, p)
+		l.AddTx(int(tx))
+		l.AddRx(int(rx))
+		want := float64(tx)*m.TxEnergyJ(p.Bits, p.NeighborDistM) +
+			float64(rx)*m.RxEnergyJ(p.Bits)
+		return almostEqual(l.TotalJ(), want, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTiming(t *testing.T) {
+	p := CanonicalPacket()
+	// 512 bits at 250 kbit/s = 2.048 ms per slot.
+	if got := SlotSeconds(p, DefaultBitrateBps); !almostEqual(got, 2.048e-3, 1e-12) {
+		t.Errorf("SlotSeconds = %g", got)
+	}
+	// The paper's worst 2D-4 delay (45 slots) is ~92 ms.
+	if got := DelaySeconds(45, p, DefaultBitrateBps); !almostEqual(got, 0.09216, 1e-12) {
+		t.Errorf("DelaySeconds = %g", got)
+	}
+	if SlotSeconds(p, 0) != 0 || SlotSeconds(p, -1) != 0 {
+		t.Error("non-positive bitrate should yield 0")
+	}
+}

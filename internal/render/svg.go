@@ -1,0 +1,85 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// SVG rendering of broadcast relay maps: publication-quality versions
+// of the paper's Figs. 5, 7 and 8, generated with the standard library
+// only. Nodes are circles (source highlighted, relays filled,
+// retransmitters ringed), edges of the mesh drawn faintly underneath.
+
+const (
+	svgCell   = 28 // pixels per mesh cell
+	svgMargin = 24
+	svgRadius = 7
+)
+
+// BroadcastSVG renders one XY plane of a finished broadcast as SVG.
+func BroadcastSVG(t grid.Topology, r *sim.Result, z int) string {
+	m, n, _ := t.Size()
+	w := 2*svgMargin + (m-1)*svgCell
+	h := 2*svgMargin + (n-1)*svgCell + 20
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		w, h, w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+
+	px := func(c grid.Coord) (int, int) {
+		// y grows upward in the paper's figures.
+		return svgMargin + (c.X-1)*svgCell, svgMargin + (n-c.Y)*svgCell
+	}
+
+	// Mesh edges underneath.
+	sb.WriteString(`<g stroke="#cccccc" stroke-width="1">` + "\n")
+	var buf []grid.Coord
+	for i := 0; i < m*n; i++ {
+		c := grid.C3(i%m+1, i/m+1, z)
+		x1, y1 := px(c)
+		buf = t.Neighbors(c, buf[:0])
+		for _, nb := range buf {
+			if nb.Z != z {
+				continue
+			}
+			// Draw each edge once.
+			if t.Index(nb) < t.Index(c) {
+				continue
+			}
+			x2, y2 := px(nb)
+			fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n", x1, y1, x2, y2)
+		}
+	}
+	sb.WriteString("</g>\n")
+
+	// Nodes.
+	for i := 0; i < m*n; i++ {
+		c := grid.C3(i%m+1, i/m+1, z)
+		idx := t.Index(c)
+		x, y := px(c)
+		fill, stroke := "#ffffff", "#555555"
+		switch {
+		case c == r.Source:
+			fill, stroke = "#d62728", "#7a0c0c"
+		case r.DecodeSlot[idx] < 0:
+			fill, stroke = "#eeeeee", "#bbbbbb"
+		case len(r.TxSlots[idx]) > 1:
+			fill, stroke = "#7f7f7f", "#333333" // the paper's gray nodes
+		case len(r.TxSlots[idx]) == 1:
+			fill, stroke = "#1f1f1f", "#000000"
+		}
+		fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="%d" fill="%s" stroke="%s" stroke-width="1.5"/>`+"\n",
+			x, y, svgRadius, fill, stroke)
+		if len(r.TxSlots[idx]) > 0 {
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="8" text-anchor="middle" fill="#1f77b4">%d</text>`+"\n",
+				x, y-svgRadius-2, r.TxSlots[idx][0])
+		}
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" fill="#333333">%s %s from %s — black relays, gray retransmitters, numbers are transmission slots</text>`+"\n",
+		svgMargin, h-6, r.Protocol, r.Kind, r.Source)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

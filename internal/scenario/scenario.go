@@ -1,0 +1,363 @@
+// Package scenario runs declaratively described experiments: a JSON
+// document names a topology, a protocol, sources and options, and the
+// runner produces a JSON report. This is the integration surface for
+// scripting studies on top of the simulator without writing Go.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"wsnbcast/internal/analysis"
+	"wsnbcast/internal/converge"
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/pipeline"
+	"wsnbcast/internal/radio"
+	"wsnbcast/internal/sim"
+)
+
+// Point is a JSON-friendly coordinate (Z defaults to 1).
+type Point struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	Z int `json:"z,omitempty"`
+}
+
+func (p Point) coord() grid.Coord {
+	z := p.Z
+	if z == 0 {
+		z = 1
+	}
+	return grid.C3(p.X, p.Y, z)
+}
+
+// TopologySpec selects and sizes the mesh.
+type TopologySpec struct {
+	// Kind is "2d3", "2d4", "2d8", "3d6" or "irregular".
+	Kind string `json:"kind"`
+	M    int    `json:"m"`
+	N    int    `json:"n"`
+	L    int    `json:"l,omitempty"`
+	// Irregular-only parameters.
+	Jitter float64 `json:"jitter,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+}
+
+// PipelineSpec requests a multi-packet run.
+type PipelineSpec struct {
+	Packets  int `json:"packets"`
+	Interval int `json:"interval"` // 0 = find the safe interval
+}
+
+// Scenario is one declarative experiment.
+type Scenario struct {
+	Name     string       `json:"name"`
+	Topology TopologySpec `json:"topology"`
+	// Protocol is "paper" (default), "flooding" or "flooding-jitter".
+	Protocol string `json:"protocol,omitempty"`
+	// JitterSlots is the flooding-jitter window (default 8).
+	JitterSlots int `json:"jitter_slots,omitempty"`
+	// Sources to broadcast from; empty means every node (a sweep).
+	Sources []Point `json:"sources,omitempty"`
+	// PacketBits and SpacingM override the radio parameters.
+	PacketBits int     `json:"packet_bits,omitempty"`
+	SpacingM   float64 `json:"spacing_m,omitempty"`
+	// Down lists failed nodes.
+	Down []Point `json:"down,omitempty"`
+	// Pipeline, when present, runs a multi-packet dissemination from
+	// the first source instead of single broadcasts.
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
+	// BudgetJ, when positive, adds a lifetime estimate for the first
+	// source.
+	BudgetJ float64 `json:"budget_j,omitempty"`
+	// Convergecast, when true, also runs a data-collection round to the
+	// first source.
+	Convergecast bool `json:"convergecast,omitempty"`
+}
+
+// RunReport is one broadcast's metrics.
+type RunReport struct {
+	Source     Point   `json:"source"`
+	Tx         int     `json:"tx"`
+	Rx         int     `json:"rx"`
+	EnergyJ    float64 `json:"energy_j"`
+	Delay      int     `json:"delay"`
+	Reached    int     `json:"reached"`
+	Total      int     `json:"total"`
+	Collisions int     `json:"collisions"`
+	Repairs    int     `json:"repairs"`
+}
+
+// Report is the runner's output.
+type Report struct {
+	Name     string      `json:"name"`
+	Topology string      `json:"topology"`
+	Protocol string      `json:"protocol"`
+	Runs     []RunReport `json:"runs,omitempty"`
+
+	// Sweep summary (present when Sources was empty).
+	BestEnergyJ  float64 `json:"best_energy_j,omitempty"`
+	WorstEnergyJ float64 `json:"worst_energy_j,omitempty"`
+	MaxDelay     int     `json:"max_delay,omitempty"`
+
+	// Pipeline results.
+	PipelineInterval  int  `json:"pipeline_interval,omitempty"`
+	PipelineSlots     int  `json:"pipeline_slots,omitempty"`
+	PipelineDelivered bool `json:"pipeline_delivered,omitempty"`
+
+	// Lifetime estimate.
+	LifetimeRounds int     `json:"lifetime_rounds,omitempty"`
+	MaxNodeEnergyJ float64 `json:"max_node_energy_j,omitempty"`
+
+	// Convergecast results.
+	ConvergeEnergyJ float64 `json:"converge_energy_j,omitempty"`
+	ConvergeSlots   int     `json:"converge_slots,omitempty"`
+}
+
+// Load parses a scenario document.
+func Load(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("scenario: %w", err)
+	}
+	return s, nil
+}
+
+func (s Scenario) topology() (grid.Topology, error) {
+	t := s.Topology
+	if t.M < 1 || t.N < 1 {
+		return nil, fmt.Errorf("scenario: topology needs m, n >= 1")
+	}
+	switch strings.ToLower(t.Kind) {
+	case "2d3":
+		return grid.NewMesh2D3(t.M, t.N), nil
+	case "2d4":
+		return grid.NewMesh2D4(t.M, t.N), nil
+	case "2d8":
+		return grid.NewMesh2D8(t.M, t.N), nil
+	case "3d6":
+		l := t.L
+		if l < 1 {
+			l = 1
+		}
+		return grid.NewMesh3D6(t.M, t.N, l), nil
+	case "irregular":
+		if t.Radius <= 0 {
+			return nil, fmt.Errorf("scenario: irregular topology needs radius > 0")
+		}
+		return grid.NewIrregular(t.M, t.N, t.Jitter, t.Radius, t.Seed), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
+	}
+}
+
+func (s Scenario) protocol(t grid.Topology) (sim.Protocol, error) {
+	switch strings.ToLower(s.Protocol) {
+	case "", "paper":
+		if t.Kind() == grid.Irregular {
+			return nil, fmt.Errorf("scenario: the paper protocols need a regular topology; use flooding")
+		}
+		return core.ForTopology(t.Kind()), nil
+	case "flooding":
+		return core.NewFlooding(), nil
+	case "flooding-jitter":
+		j := s.JitterSlots
+		if j <= 0 {
+			j = 8
+		}
+		return core.NewJitteredFlooding(j), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown protocol %q", s.Protocol)
+	}
+}
+
+func (s Scenario) simConfig() (sim.Config, error) {
+	cfg := sim.Config{}
+	if s.PacketBits < 0 || s.SpacingM < 0 {
+		return cfg, fmt.Errorf("scenario: packet_bits and spacing_m must be positive")
+	}
+	if s.PacketBits > 0 || s.SpacingM > 0 {
+		p := radio.CanonicalPacket()
+		if s.PacketBits > 0 {
+			p.Bits = s.PacketBits
+		}
+		if s.SpacingM > 0 {
+			p.NeighborDistM = s.SpacingM
+		}
+		if err := p.Validate(); err != nil {
+			return cfg, err
+		}
+		cfg.Packet = p
+	}
+	for _, d := range s.Down {
+		cfg.Down = append(cfg.Down, d.coord())
+	}
+	return cfg, nil
+}
+
+// Run executes the scenario.
+func (s Scenario) Run() (Report, error) {
+	rep := Report{Name: s.Name, Topology: strings.ToLower(s.Topology.Kind)}
+	topo, err := s.topology()
+	if err != nil {
+		return rep, err
+	}
+	p, err := s.protocol(topo)
+	if err != nil {
+		return rep, err
+	}
+	rep.Protocol = p.Name()
+	cfg, err := s.simConfig()
+	if err != nil {
+		return rep, err
+	}
+
+	if len(s.Sources) == 0 {
+		sum, err := analysis.Sweep(topo, p, cfg)
+		if err != nil {
+			return rep, err
+		}
+		rep.BestEnergyJ = sum.Best.EnergyJ
+		rep.WorstEnergyJ = sum.Worst.EnergyJ
+		rep.MaxDelay = sum.MaxDelay
+		return rep, nil
+	}
+
+	for _, src := range s.Sources {
+		r, err := sim.Run(topo, p, src.coord(), cfg)
+		if err != nil {
+			return rep, err
+		}
+		rep.Runs = append(rep.Runs, RunReport{
+			Source: src, Tx: r.Tx, Rx: r.Rx, EnergyJ: r.EnergyJ, Delay: r.Delay,
+			Reached: r.Reached, Total: r.Total, Collisions: r.Collisions, Repairs: r.Repairs,
+		})
+	}
+	first := s.Sources[0].coord()
+
+	if s.Pipeline != nil {
+		interval := s.Pipeline.Interval
+		if interval <= 0 {
+			interval, err = pipeline.SafeInterval(topo, p, first, 4, 8*topo.NumNodes())
+			if err != nil {
+				return rep, err
+			}
+		}
+		snap, _, err := sim.Snapshot(topo, p, first, cfg)
+		if err != nil {
+			return rep, err
+		}
+		pr, err := pipeline.Run(topo, snap, first, pipeline.Config{
+			Packets: s.Pipeline.Packets, Interval: interval,
+		})
+		if err != nil {
+			return rep, err
+		}
+		rep.PipelineInterval = interval
+		rep.PipelineSlots = pr.Slots
+		rep.PipelineDelivered = pr.Delivered
+	}
+
+	if s.BudgetJ > 0 {
+		life, err := analysis.Lifetime(topo, p, first, cfg, s.BudgetJ)
+		if err != nil {
+			return rep, err
+		}
+		rep.LifetimeRounds = life.RoundsOnBudget
+		rep.MaxNodeEnergyJ = life.MaxNodeEnergyJ
+	}
+
+	if s.Convergecast {
+		cc, err := converge.Run(topo, first, converge.Config{})
+		if err != nil {
+			return rep, err
+		}
+		rep.ConvergeEnergyJ = cc.EnergyJ
+		rep.ConvergeSlots = cc.Slots
+	}
+	return rep, nil
+}
+
+// Write renders the report as indented JSON.
+func (r Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadAll parses either a single scenario object or a JSON array of
+// scenarios.
+func LoadAll(r io.Reader) ([]Scenario, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if strings.HasPrefix(trimmed, "[") {
+		var list []Scenario
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&list); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return list, nil
+	}
+	s, err := Load(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{s}, nil
+}
+
+// RunAll executes scenarios in parallel (bounded by GOMAXPROCS) and
+// returns the reports in input order; the first error aborts.
+func RunAll(scenarios []Scenario) ([]Report, error) {
+	reports := make([]Report, len(scenarios))
+	errs := make([]error, len(scenarios))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				reports[i], errs[i] = scenarios[i].Run()
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d (%q): %w", i, scenarios[i].Name, err)
+		}
+	}
+	return reports, nil
+}
+
+// WriteAll renders reports as an indented JSON array.
+func WriteAll(w io.Writer, reports []Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, doc string) Scenario {
+	t.Helper()
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSingleBroadcast(t *testing.T) {
+	s := load(t, `{
+		"name": "fig5",
+		"topology": {"kind": "2d4", "m": 16, "n": 16},
+		"sources": [{"x": 6, "y": 8}]
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	r := rep.Runs[0]
+	if r.Reached != r.Total || r.Total != 256 {
+		t.Errorf("reach %d/%d", r.Reached, r.Total)
+	}
+	if rep.Protocol != "paper-2d4" {
+		t.Errorf("protocol = %q", rep.Protocol)
+	}
+}
+
+func TestSweepScenario(t *testing.T) {
+	s := load(t, `{
+		"name": "sweep",
+		"topology": {"kind": "2d8", "m": 8, "n": 6}
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestEnergyJ <= 0 || rep.WorstEnergyJ < rep.BestEnergyJ {
+		t.Errorf("sweep summary: %+v", rep)
+	}
+	if len(rep.Runs) != 0 {
+		t.Error("sweep should not list per-run reports")
+	}
+}
+
+func TestPipelineAndLifetimeAndConverge(t *testing.T) {
+	s := load(t, `{
+		"name": "full",
+		"topology": {"kind": "2d4", "m": 10, "n": 8},
+		"sources": [{"x": 5, "y": 4}],
+		"pipeline": {"packets": 5},
+		"budget_j": 0.5,
+		"convergecast": true
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PipelineDelivered || rep.PipelineInterval < 1 {
+		t.Errorf("pipeline: %+v", rep)
+	}
+	if rep.LifetimeRounds <= 0 || rep.MaxNodeEnergyJ <= 0 {
+		t.Errorf("lifetime: %+v", rep)
+	}
+	if rep.ConvergeEnergyJ <= 0 || rep.ConvergeSlots <= 0 {
+		t.Errorf("converge: %+v", rep)
+	}
+}
+
+func TestIrregularScenario(t *testing.T) {
+	s := load(t, `{
+		"name": "rgg",
+		"topology": {"kind": "irregular", "m": 10, "n": 10, "jitter": 0.3, "radius": 1.5, "seed": 7},
+		"protocol": "flooding-jitter",
+		"sources": [{"x": 5, "y": 5}]
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs[0].Reached != rep.Runs[0].Total {
+		t.Errorf("reach %d/%d", rep.Runs[0].Reached, rep.Runs[0].Total)
+	}
+}
+
+func TestDownNodesScenario(t *testing.T) {
+	s := load(t, `{
+		"name": "damage",
+		"topology": {"kind": "2d4", "m": 8, "n": 8},
+		"sources": [{"x": 1, "y": 1}],
+		"down": [{"x": 4, "y": 4}, {"x": 5, "y": 5}]
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs[0].Total != 62 {
+		t.Errorf("total = %d, want 62 live nodes", rep.Runs[0].Total)
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	cases := []string{
+		`{"topology": {"kind": "hex", "m": 4, "n": 4}}`,
+		`{"topology": {"kind": "2d4"}}`,
+		`{"topology": {"kind": "irregular", "m": 4, "n": 4}}`,
+		`{"topology": {"kind": "2d4", "m": 4, "n": 4}, "protocol": "bogus"}`,
+		`{"topology": {"kind": "irregular", "m": 4, "n": 4, "radius": 1.2}, "protocol": "paper"}`,
+		`{"topology": {"kind": "2d4", "m": 4, "n": 4}, "packet_bits": -2, "sources": [{"x":1,"y":1}]}`,
+	}
+	for _, doc := range cases {
+		s := load(t, doc)
+		if _, err := s.Run(); err == nil {
+			t.Errorf("scenario %s should fail", doc)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"nope": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`{invalid`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	s := load(t, `{
+		"name": "rt",
+		"topology": {"kind": "2d4", "m": 6, "n": 4},
+		"sources": [{"x": 3, "y": 2}]
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "rt" || len(back.Runs) != 1 || back.Runs[0].Tx != rep.Runs[0].Tx {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestPacketOverride(t *testing.T) {
+	s := load(t, `{
+		"topology": {"kind": "2d4", "m": 6, "n": 4},
+		"sources": [{"x": 3, "y": 2}],
+		"packet_bits": 1024, "spacing_m": 1.0
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := load(t, `{
+		"topology": {"kind": "2d4", "m": 6, "n": 4},
+		"sources": [{"x": 3, "y": 2}]
+	}`)
+	rep2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs[0].EnergyJ <= rep2.Runs[0].EnergyJ {
+		t.Errorf("bigger packets should cost more: %g vs %g",
+			rep.Runs[0].EnergyJ, rep2.Runs[0].EnergyJ)
+	}
+}
+
+func TestLoadAllAndRunAll(t *testing.T) {
+	docs := `[
+		{"name": "a", "topology": {"kind": "2d4", "m": 6, "n": 4}, "sources": [{"x": 3, "y": 2}]},
+		{"name": "b", "topology": {"kind": "2d8", "m": 6, "n": 4}, "sources": [{"x": 1, "y": 1}]},
+		{"name": "c", "topology": {"kind": "2d3", "m": 6, "n": 4}, "sources": [{"x": 3, "y": 2}]}
+	]`
+	list, err := LoadAll(strings.NewReader(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("scenarios = %d", len(list))
+	}
+	reports, err := RunAll(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if rep.Name != list[i].Name {
+			t.Errorf("report %d out of order: %q", i, rep.Name)
+		}
+		if rep.Runs[0].Reached != rep.Runs[0].Total {
+			t.Errorf("%q incomplete", rep.Name)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteAll(&sb, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(sb.String()), "[") {
+		t.Error("WriteAll should emit an array")
+	}
+}
+
+func TestLoadAllSingleObject(t *testing.T) {
+	list, err := LoadAll(strings.NewReader(`{"topology": {"kind": "2d4", "m": 4, "n": 4}}`))
+	if err != nil || len(list) != 1 {
+		t.Fatalf("single object: %v, %v", list, err)
+	}
+}
+
+func TestRunAllPropagatesError(t *testing.T) {
+	list := []Scenario{
+		{Name: "ok", Topology: TopologySpec{Kind: "2d4", M: 4, N: 4}},
+		{Name: "bad", Topology: TopologySpec{Kind: "hex", M: 4, N: 4}},
+	}
+	if _, err := RunAll(list); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+)
+
+// Failed nodes neither transmit, hear, nor decode; the repair planner
+// routes the broadcast around them when the live graph stays connected.
+func TestDownNodesRoutedAround(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(1, 1)
+	down := []grid.Coord{grid.C2(4, 4), grid.C2(5, 4), grid.C2(4, 5)}
+	r, err := Run(topo, allRelay("flood"), src, Config{Down: down})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Down != 3 {
+		t.Errorf("Down = %d", r.Down)
+	}
+	if r.Total != 61 {
+		t.Errorf("Total = %d, want 61 live nodes", r.Total)
+	}
+	if !r.FullyReached() {
+		t.Errorf("live nodes not all reached: %d/%d", r.Reached, r.Total)
+	}
+	for _, c := range down {
+		i := topo.Index(c)
+		if r.DecodeSlot[i] >= 0 || len(r.TxSlots[i]) > 0 {
+			t.Errorf("down node %v participated", c)
+		}
+		if !r.IsDown(i) {
+			t.Errorf("IsDown(%v) = false", c)
+		}
+	}
+	if err := r.Validate(topo, radio.Default(), radio.CanonicalPacket()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A failure that cuts the live graph leaves the far side unreached —
+// and the engine reports that honestly rather than looping.
+func TestDownNodesPartition(t *testing.T) {
+	topo := grid.NewMesh2D4(7, 1) // a line
+	down := []grid.Coord{grid.C2(4, 1)}
+	r, err := Run(topo, allRelay("flood"), grid.C2(1, 1), Config{Down: down})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FullyReached() {
+		t.Error("partitioned network reported fully reached")
+	}
+	if r.Reached != 3 {
+		t.Errorf("Reached = %d, want 3 (the near side)", r.Reached)
+	}
+}
+
+func TestDownValidation(t *testing.T) {
+	topo := grid.NewMesh2D4(5, 5)
+	if _, err := Run(topo, allRelay("x"), grid.C2(1, 1),
+		Config{Down: []grid.Coord{grid.C2(1, 1)}}); err == nil {
+		t.Error("down source accepted")
+	}
+	if _, err := Run(topo, allRelay("x"), grid.C2(1, 1),
+		Config{Down: []grid.Coord{grid.C2(9, 9)}}); err == nil {
+		t.Error("out-of-mesh down node accepted")
+	}
+}
+
+// Rx accounting excludes down listeners: energy shrinks when neighbors
+// die.
+func TestDownReducesRx(t *testing.T) {
+	topo := grid.NewMesh2D4(5, 5)
+	src := grid.C2(1, 1)
+	full, err := Run(topo, allRelay("flood"), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := Run(topo, allRelay("flood"), src, Config{Down: []grid.Coord{grid.C2(5, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged.Rx >= full.Rx {
+		t.Errorf("Rx with a dead node (%d) not below full (%d)", damaged.Rx, full.Rx)
+	}
+}

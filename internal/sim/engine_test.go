@@ -1,0 +1,507 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+)
+
+// testProto is a configurable protocol for engine tests.
+type testProto struct {
+	name    string
+	relay   func(t grid.Topology, src, node grid.Coord) bool
+	delay   func(t grid.Topology, src, node grid.Coord) int
+	retrans func(t grid.Topology, src, node grid.Coord) []int
+}
+
+func (p testProto) Name() string { return p.name }
+
+func (p testProto) IsRelay(t grid.Topology, src, node grid.Coord) bool {
+	if p.relay == nil {
+		return true
+	}
+	return p.relay(t, src, node)
+}
+
+func (p testProto) TxDelay(t grid.Topology, src, node grid.Coord) int {
+	if p.delay == nil {
+		return 1
+	}
+	return p.delay(t, src, node)
+}
+
+func (p testProto) Retransmits(t grid.Topology, src, node grid.Coord) []int {
+	if p.retrans == nil {
+		return nil
+	}
+	return p.retrans(t, src, node)
+}
+
+func allRelay(name string) testProto { return testProto{name: name} }
+
+func noRelay(name string) testProto {
+	return testProto{
+		name:  name,
+		relay: func(grid.Topology, grid.Coord, grid.Coord) bool { return false },
+	}
+}
+
+func mustRun(t *testing.T, topo grid.Topology, p Protocol, src grid.Coord, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(topo, p, src, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := r.Validate(topo, radio.Default(), radio.CanonicalPacket()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return r
+}
+
+// A 1 x n line with every node relaying is collision-free and the
+// counts are exactly computable: every node transmits once, delay is
+// the farthest node's distance minus one.
+func TestLineBroadcastExact(t *testing.T) {
+	topo := grid.NewMesh2D4(9, 1)
+	r := mustRun(t, topo, allRelay("line"), grid.C2(1, 1), Config{})
+	if !r.FullyReached() {
+		t.Fatalf("not fully reached: %v", r)
+	}
+	if r.Tx != 9 {
+		t.Errorf("Tx = %d, want 9", r.Tx)
+	}
+	// Rx: interior transmitters have 2 neighbors, the two end nodes 1.
+	if r.Rx != 7*2+2 {
+		t.Errorf("Rx = %d, want 16", r.Rx)
+	}
+	if r.Collisions != 0 {
+		t.Errorf("Collisions = %d, want 0", r.Collisions)
+	}
+	if r.Repairs != 0 {
+		t.Errorf("Repairs = %d, want 0", r.Repairs)
+	}
+	// Node (x,1) decodes in slot x-2 (source transmits in slot 0).
+	if r.Delay != 7 {
+		t.Errorf("Delay = %d, want 7", r.Delay)
+	}
+	for x := 2; x <= 9; x++ {
+		if d := r.DecodeSlot[topo.Index(grid.C2(x, 1))]; d != x-2 {
+			t.Errorf("decode slot of (%d,1) = %d, want %d", x, d, x-2)
+		}
+	}
+}
+
+// Center source on a line: both directions propagate simultaneously
+// without colliding (the two frontier nodes are never in range).
+func TestLineCenterSource(t *testing.T) {
+	topo := grid.NewMesh2D4(11, 1)
+	r := mustRun(t, topo, allRelay("line"), grid.C2(6, 1), Config{})
+	if !r.FullyReached() {
+		t.Fatalf("unexpected: %v", r)
+	}
+	// The only collision is at the source itself, which both neighbors
+	// hit simultaneously in slot 1 — harmless, it already holds the
+	// message.
+	if r.Collisions != 1 {
+		t.Errorf("Collisions = %d, want 1 (at the source)", r.Collisions)
+	}
+	if r.Delay != 4 {
+		t.Errorf("Delay = %d, want 4", r.Delay)
+	}
+	if r.Tx != 11 {
+		t.Errorf("Tx = %d, want 11", r.Tx)
+	}
+}
+
+// Flooding on a 3x3 von-Neumann mesh from the corner: the engine must
+// detect the diagonal collisions and the repair pass must restore
+// 100% reachability with exactly two repairs ((2,2) and (3,3) are
+// permanently collided under pure flooding).
+func TestFlooding3x3Repairs(t *testing.T) {
+	topo := grid.NewMesh2D4(3, 3)
+	var events []Event
+	r := mustRun(t, topo, allRelay("flood"), grid.C2(1, 1), Config{Trace: CollectTrace(&events)})
+	if !r.FullyReached() {
+		t.Fatalf("not fully reached: %v", r)
+	}
+	if r.Repairs != 2 {
+		t.Errorf("Repairs = %d, want 2", r.Repairs)
+	}
+	if r.Collisions == 0 {
+		t.Error("expected collisions under flooding")
+	}
+	repairEvents := 0
+	for _, e := range events {
+		if e.Kind == EventRepair {
+			repairEvents++
+		}
+	}
+	if repairEvents != r.Repairs {
+		t.Errorf("trace repairs = %d, result %d", repairEvents, r.Repairs)
+	}
+}
+
+// With repair disabled, the same flooding run must report partial
+// reachability instead of fixing it.
+func TestDisableRepair(t *testing.T) {
+	topo := grid.NewMesh2D4(3, 3)
+	r := mustRun(t, topo, allRelay("flood"), grid.C2(1, 1), Config{DisableRepair: true})
+	if r.FullyReached() {
+		t.Fatal("flooding 3x3 from corner should not fully reach without repair")
+	}
+	if r.Reached != 7 {
+		t.Errorf("Reached = %d, want 7 (all but (2,2) and (3,3))", r.Reached)
+	}
+	if r.Repairs != 0 {
+		t.Errorf("Repairs = %d with repair disabled", r.Repairs)
+	}
+}
+
+// A protocol with no relays forces the repair pass to carry the whole
+// broadcast, one serialized transmission at a time.
+func TestRepairOnlyBroadcast(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 1)
+	r := mustRun(t, topo, noRelay("mute"), grid.C2(1, 1), Config{})
+	if !r.FullyReached() {
+		t.Fatalf("not reached: %v", r)
+	}
+	// Source covers (2,1); each remaining node needs one repair.
+	if r.Repairs != 4 {
+		t.Errorf("Repairs = %d, want 4", r.Repairs)
+	}
+	if r.Tx != 1+4 {
+		t.Errorf("Tx = %d, want 5", r.Tx)
+	}
+}
+
+// Designated retransmissions must appear as extra transmissions of the
+// same node in later slots, and scheduling the same slot twice must
+// collapse into one transmission.
+func TestRetransmitsAndDedupe(t *testing.T) {
+	topo := grid.NewMesh2D4(3, 1)
+	p := testProto{
+		name: "retrans",
+		retrans: func(_ grid.Topology, _, node grid.Coord) []int {
+			if node == (grid.C2(2, 1)) {
+				return []int{1, 1, 2} // duplicate offset collapses
+			}
+			return nil
+		},
+	}
+	r := mustRun(t, topo, p, grid.C2(1, 1), Config{})
+	idx := topo.Index(grid.C2(2, 1))
+	if got := len(r.TxSlots[idx]); got != 3 {
+		t.Errorf("node (2,1) transmitted %d times, want 3 (first + offsets {1,2})", got)
+	}
+	want := []int{1, 2, 3}
+	for i, s := range r.TxSlots[idx] {
+		if s != want[i] {
+			t.Errorf("tx slot[%d] = %d, want %d", i, s, want[i])
+		}
+	}
+	if len(r.RetransmitNodes()) != 1 || r.RetransmitNodes()[0] != idx {
+		t.Errorf("RetransmitNodes = %v", r.RetransmitNodes())
+	}
+}
+
+// Retransmit offsets < 1 are ignored (contract guard).
+func TestRetransmitOffsetGuard(t *testing.T) {
+	topo := grid.NewMesh2D4(3, 1)
+	p := testProto{
+		name: "badoffsets",
+		retrans: func(_ grid.Topology, _, node grid.Coord) []int {
+			return []int{0, -3}
+		},
+	}
+	r := mustRun(t, topo, p, grid.C2(1, 1), Config{})
+	for i, slots := range r.TxSlots {
+		if len(slots) > 1 {
+			t.Errorf("node %d transmitted %d times despite invalid offsets", i, len(slots))
+		}
+	}
+}
+
+// TxDelay below 1 is clamped to 1.
+func TestTxDelayClamp(t *testing.T) {
+	topo := grid.NewMesh2D4(3, 1)
+	p := testProto{
+		name:  "clamp",
+		delay: func(grid.Topology, grid.Coord, grid.Coord) int { return 0 },
+	}
+	r := mustRun(t, topo, p, grid.C2(1, 1), Config{})
+	if !r.FullyReached() {
+		t.Fatalf("not reached: %v", r)
+	}
+	idx := topo.Index(grid.C2(2, 1))
+	if r.TxSlots[idx][0] != 1 {
+		t.Errorf("tx slot = %d, want 1 (clamped)", r.TxSlots[idx][0])
+	}
+}
+
+// Larger TxDelay defers the forward and lengthens the delay metric.
+func TestTxDelayDefers(t *testing.T) {
+	topo := grid.NewMesh2D4(4, 1)
+	p := testProto{
+		name:  "slow",
+		delay: func(grid.Topology, grid.Coord, grid.Coord) int { return 3 },
+	}
+	r := mustRun(t, topo, p, grid.C2(1, 1), Config{})
+	// (2,1) decodes 0, transmits 3; (3,1) decodes 3, transmits 6;
+	// (4,1) decodes 6.
+	if r.Delay != 6 {
+		t.Errorf("Delay = %d, want 6", r.Delay)
+	}
+}
+
+func TestSourceOutsideErrors(t *testing.T) {
+	topo := grid.NewMesh2D4(4, 4)
+	if _, err := Run(topo, allRelay("x"), grid.C2(5, 1), Config{}); err == nil {
+		t.Error("out-of-mesh source accepted")
+	}
+}
+
+func TestBadPacketErrors(t *testing.T) {
+	topo := grid.NewMesh2D4(4, 4)
+	cfg := Config{Packet: radio.Packet{Bits: -1, NeighborDistM: 1}}
+	if _, err := Run(topo, allRelay("x"), grid.C2(1, 1), cfg); err == nil {
+		t.Error("bad packet accepted")
+	}
+}
+
+func TestMaxSlotsGuard(t *testing.T) {
+	topo := grid.NewMesh2D4(40, 1)
+	p := testProto{
+		name:  "crawl",
+		delay: func(grid.Topology, grid.Coord, grid.Coord) int { return 5 },
+	}
+	if _, err := Run(topo, p, grid.C2(1, 1), Config{MaxSlots: 10}); err == nil {
+		t.Error("MaxSlots guard did not fire")
+	} else if !strings.Contains(err.Error(), "runaway") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// Single-node network: the source transmits into the void.
+func TestSingleNode(t *testing.T) {
+	topo := grid.NewMesh2D4(1, 1)
+	r := mustRun(t, topo, allRelay("solo"), grid.C2(1, 1), Config{})
+	if r.Tx != 1 || r.Rx != 0 || r.Delay != 0 || !r.FullyReached() {
+		t.Errorf("unexpected: %v", r)
+	}
+}
+
+// Determinism: two identical runs produce identical results and traces.
+func TestDeterminism(t *testing.T) {
+	topo := grid.NewMesh2D8(9, 7)
+	var ev1, ev2 []Event
+	r1 := mustRun(t, topo, allRelay("flood"), grid.C2(4, 4), Config{Trace: CollectTrace(&ev1)})
+	r2 := mustRun(t, topo, allRelay("flood"), grid.C2(4, 4), Config{Trace: CollectTrace(&ev2)})
+	if r1.String() != r2.String() {
+		t.Errorf("results differ:\n%v\n%v", r1, r2)
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("trace event %d differs: %v vs %v", i, ev1[i], ev2[i])
+		}
+	}
+}
+
+// Energy must equal the ledger formula and per-node energies must sum
+// to the total.
+func TestEnergyAccounting(t *testing.T) {
+	topo := grid.NewMesh3D6(4, 4, 3)
+	r := mustRun(t, topo, allRelay("flood"), grid.C3(2, 2, 2), Config{})
+	sum := 0.0
+	for _, e := range r.PerNodeEnergyJ {
+		sum += e
+	}
+	if diff := sum - r.EnergyJ; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("per-node energy sum %g != total %g", sum, r.EnergyJ)
+	}
+}
+
+// Flooding must eventually reach every node on every topology with the
+// repair pass (the safety-net guarantee behind 100% reachability).
+func TestFloodingReachesAllTopologies(t *testing.T) {
+	topos := []grid.Topology{
+		grid.NewMesh2D3(10, 8), grid.NewMesh2D4(10, 8),
+		grid.NewMesh2D8(10, 8), grid.NewMesh3D6(5, 4, 4),
+	}
+	for _, topo := range topos {
+		for _, srcIdx := range []int{0, topo.NumNodes() / 2, topo.NumNodes() - 1} {
+			src := topo.At(srcIdx)
+			r := mustRun(t, topo, allRelay("flood"), src, Config{})
+			if !r.FullyReached() {
+				t.Errorf("%v src %v: reached %d/%d", topo.Kind(), src, r.Reached, r.Total)
+			}
+		}
+	}
+}
+
+// The trace must be causally ordered: slots never decrease.
+func TestTraceMonotonic(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	var events []Event
+	mustRun(t, topo, allRelay("flood"), grid.C2(1, 1), Config{Trace: CollectTrace(&events)})
+	prev := 0
+	for _, e := range events {
+		if e.Slot < prev {
+			t.Fatalf("trace went backwards: %v after slot %d", e, prev)
+		}
+		prev = e.Slot
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Slot: 12, Kind: EventDecode, Node: grid.C2(3, 4)}
+	if got := e.String(); got != "slot 12: decode (3,4)" {
+		t.Errorf("Event.String() = %q", got)
+	}
+	if EventKind(99).String() != "EventKind(99)" {
+		t.Error("unknown event kind")
+	}
+	for k, w := range map[EventKind]string{
+		EventTx: "tx", EventDuplicate: "dup", EventCollision: "collide", EventRepair: "repair",
+	} {
+		if k.String() != w {
+			t.Errorf("EventKind %d = %q, want %q", int(k), k.String(), w)
+		}
+	}
+}
+
+// Validate must reject corrupted results (failure injection).
+func TestValidateRejectsCorruption(t *testing.T) {
+	topo := grid.NewMesh2D4(5, 5)
+	model, pkt := radio.Default(), radio.CanonicalPacket()
+	fresh := func() *Result {
+		r, err := Run(topo, allRelay("flood"), grid.C2(3, 3), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	corruptions := []struct {
+		name string
+		mod  func(r *Result)
+	}{
+		{"tx count", func(r *Result) { r.Tx++ }},
+		{"rx count", func(r *Result) { r.Rx-- }},
+		{"delay", func(r *Result) { r.Delay += 3 }},
+		{"energy", func(r *Result) { r.EnergyJ *= 2 }},
+		{"reached", func(r *Result) { r.Reached-- }},
+		{"tx before decode", func(r *Result) {
+			for i := range r.TxSlots {
+				if i != topo.Index(r.Source) && len(r.TxSlots[i]) > 0 {
+					r.TxSlots[i][0] = 0
+					r.DecodeSlot[i] = 5
+					break
+				}
+			}
+		}},
+		{"tx order", func(r *Result) {
+			for i := range r.TxSlots {
+				if len(r.TxSlots[i]) > 1 {
+					r.TxSlots[i][1] = r.TxSlots[i][0]
+					return
+				}
+			}
+			// Fabricate a double transmission if none exists.
+			r.TxSlots[0] = []int{0, 0}
+			r.Tx++
+			r.Rx += 2 * topo.Degree(topo.At(0))
+		}},
+	}
+	for _, c := range corruptions {
+		r := fresh()
+		if err := r.Validate(topo, model, pkt); err != nil {
+			t.Fatalf("fresh result invalid: %v", err)
+		}
+		c.mod(r)
+		if err := r.Validate(topo, model, pkt); err == nil {
+			t.Errorf("corruption %q not caught", c.name)
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 6)
+	r := mustRun(t, topo, allRelay("flood"), grid.C2(3, 3), Config{})
+	if r.RelayCount() == 0 || r.RelayCount() > r.Total {
+		t.Errorf("RelayCount = %d", r.RelayCount())
+	}
+	if r.Reachability() != 1.0 {
+		t.Errorf("Reachability = %g", r.Reachability())
+	}
+	if r.MaxNodeEnergyJ() <= 0 {
+		t.Error("MaxNodeEnergyJ <= 0")
+	}
+	qs := r.EnergyQuantiles(0, 0.5, 1)
+	if !(qs[0] <= qs[1] && qs[1] <= qs[2]) {
+		t.Errorf("quantiles not ordered: %v", qs)
+	}
+	if qs[2] != r.MaxNodeEnergyJ() {
+		t.Errorf("q1 = %g != max %g", qs[2], r.MaxNodeEnergyJ())
+	}
+	if got := r.EnergyQuantiles(-1, 2); got[0] != qs[0] || got[1] != qs[2] {
+		t.Errorf("quantile clamping broken: %v", got)
+	}
+	if !strings.Contains(r.String(), "flood") {
+		t.Errorf("String() = %q", r.String())
+	}
+	empty := &Result{}
+	if empty.Reachability() != 0 {
+		t.Error("empty reachability")
+	}
+	if got := empty.EnergyQuantiles(0.5); got[0] != 0 {
+		t.Error("empty quantiles")
+	}
+}
+
+// Property: for ANY relay predicate — here pseudo-random subsets of
+// varying density — the planner either reaches every node or the
+// unreached nodes genuinely have no decoded neighbor path (which
+// cannot happen on a connected mesh). Validated results throughout.
+func TestRandomRelaySetsAlwaysRepairable(t *testing.T) {
+	topo := grid.NewMesh2D4(9, 7)
+	for seed := uint64(1); seed <= 25; seed++ {
+		seed := seed
+		density := int(seed%10) + 1 // 10%..100%
+		p := testProto{
+			name: "random-relays",
+			relay: func(_ grid.Topology, _, c grid.Coord) bool {
+				z := uint64(c.X)<<32 ^ uint64(c.Y)<<16 ^ seed
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				return int((z^(z>>31))%10) < density
+			},
+		}
+		r := mustRun(t, topo, p, grid.C2(5, 4), Config{})
+		if !r.FullyReached() {
+			t.Fatalf("seed %d density %d: reached %d/%d", seed, density, r.Reached, r.Total)
+		}
+	}
+}
+
+// Property: random TxDelays never break the engine's contract either.
+func TestRandomDelaysAlwaysValid(t *testing.T) {
+	topo := grid.NewMesh2D8(8, 6)
+	for seed := uint64(1); seed <= 10; seed++ {
+		seed := seed
+		p := testProto{
+			name: "random-delays",
+			delay: func(_ grid.Topology, _, c grid.Coord) int {
+				z := uint64(c.X)*31 + uint64(c.Y)*17 + seed
+				return 1 + int(z%5)
+			},
+		}
+		r := mustRun(t, topo, p, grid.C2(4, 3), Config{})
+		if !r.FullyReached() {
+			t.Fatalf("seed %d: reached %d/%d", seed, r.Reached, r.Total)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package sim is the slotted-time broadcast simulator underlying the
+// paper's numerical evaluation. All sensor nodes are synchronized
+// (Section 2); time advances in slots; a transmission in a slot is
+// heard by every directly connected neighbor; a node decodes the
+// message in a slot iff exactly one of its neighbors transmits in that
+// slot (two or more simultaneous transmissions in range collide and
+// destroy each other at that receiver).
+//
+// The simulator executes a Protocol — a set of pure, node-local
+// decision rules — from a given source and accounts transmissions,
+// receptions, energy, collisions and delay exactly the way the paper's
+// Section 4 does.
+package sim
+
+import "wsnbcast/internal/grid"
+
+// Protocol is a broadcast protocol expressed as pure node-local rules,
+// mirroring the paper's premise that the topology is regular and fixed
+// so each node can decide its role from (topology, source, own id)
+// alone. Implementations must be deterministic and stateless.
+type Protocol interface {
+	// Name identifies the protocol in tables and traces.
+	Name() string
+
+	// IsRelay reports whether the node forwards the broadcast message
+	// after first decoding it. The source is implicitly a transmitter
+	// regardless of this predicate.
+	IsRelay(t grid.Topology, src, node grid.Coord) bool
+
+	// TxDelay returns the number of slots between the node's first
+	// decode and its (first) forwarding transmission; must be >= 1.
+	// The paper's protocols use 1 everywhere except the 3D-6 z-relays
+	// in the source plane, which are deferred one extra slot.
+	TxDelay(t grid.Topology, src, node grid.Coord) int
+
+	// Retransmits returns the designated retransmission offsets of the
+	// node, in slots after its first transmission (each must be >= 1).
+	// These are the paper's "gray nodes": relays whose first
+	// transmission is known to collide at some receiver and which
+	// therefore transmit again. A nil or empty slice means none.
+	Retransmits(t grid.Topology, src, node grid.Coord) []int
+}
+
+// SourceTx is the slot in which the source transmits: slot 0.
+const SourceTx = 0

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+)
+
+// Result is the outcome of one simulated broadcast, carrying exactly
+// the quantities the paper's Section 4 evaluates plus diagnostics.
+type Result struct {
+	// Kind and Source identify the run.
+	Kind   grid.Kind
+	Source grid.Coord
+	// Protocol is the protocol name.
+	Protocol string
+
+	// Tx is the total number of transmissions (paper: T_x).
+	Tx int
+	// Rx is the total number of receptions, one per (transmitter,
+	// hearing neighbor) pair, duplicates and collided copies included
+	// (paper: R_x).
+	Rx int
+	// EnergyJ is the total power consumption in Joules:
+	// Tx*E_Tx(k,d) + Rx*E_Rx(k).
+	EnergyJ float64
+	// Delay is the slot in which the last node first decoded the
+	// message (the source transmits in slot 0). Zero for a one-node
+	// network.
+	Delay int
+	// Reached is the number of nodes holding the message at the end
+	// (including the source). 100% reachability means Reached == Total.
+	Reached int
+	// Total is the number of live nodes in the network (failed nodes
+	// excluded).
+	Total int
+	// Down is the number of failed nodes (Config.Down).
+	Down int
+
+	// Collisions counts (slot, receiver) collision events.
+	Collisions int
+	// Duplicates counts successful decodes of already-held copies.
+	Duplicates int
+	// Repairs counts scheduler-granted retransmissions beyond the
+	// protocol's own rules (0 when the protocol is self-sufficient).
+	Repairs int
+
+	// DecodeSlot[i] is the slot node i first decoded the message, -1 if
+	// never; the source holds 0 (it originates the message).
+	DecodeSlot []int
+	// TxSlots[i] lists the slots node i transmitted in (ordered).
+	TxSlots [][]int
+	// PerNodeEnergyJ[i] is the energy node i spent (its own Tx plus
+	// everything it heard).
+	PerNodeEnergyJ []float64
+
+	// downMask marks failed nodes (nil when none); set by the engine
+	// and consulted by Validate.
+	downMask []bool
+}
+
+// IsDown reports whether the node at dense index i was failed in this
+// run.
+func (r *Result) IsDown(i int) bool { return r.downMask != nil && r.downMask[i] }
+
+// Reachability returns the fraction of nodes reached, in [0, 1].
+func (r *Result) Reachability() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Reached) / float64(r.Total)
+}
+
+// FullyReached reports 100% reachability.
+func (r *Result) FullyReached() bool { return r.Reached == r.Total }
+
+// RelayCount returns how many distinct nodes transmitted at least once.
+func (r *Result) RelayCount() int {
+	n := 0
+	for _, s := range r.TxSlots {
+		if len(s) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RetransmitNodes returns the dense indices of nodes that transmitted
+// more than once (the paper's gray nodes), sorted.
+func (r *Result) RetransmitNodes() []int {
+	var out []int
+	for i, s := range r.TxSlots {
+		if len(s) > 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxNodeEnergyJ returns the highest per-node energy, the quantity that
+// bounds network lifetime.
+func (r *Result) MaxNodeEnergyJ() float64 {
+	max := 0.0
+	for _, e := range r.PerNodeEnergyJ {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// EnergyQuantiles returns the q-quantiles (q in [0,1], ascending) of
+// the per-node energy distribution.
+func (r *Result) EnergyQuantiles(qs ...float64) []float64 {
+	if len(r.PerNodeEnergyJ) == 0 {
+		return make([]float64, len(qs))
+	}
+	sorted := append([]float64(nil), r.PerNodeEnergyJ...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(q * float64(len(sorted)-1))
+		out[i] = sorted[idx]
+	}
+	return out
+}
+
+// String summarizes the run in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s %s src=%s: Tx=%d Rx=%d E=%.4e J delay=%d reached=%d/%d coll=%d rep=%d",
+		r.Protocol, r.Kind, r.Source, r.Tx, r.Rx, r.EnergyJ, r.Delay, r.Reached, r.Total,
+		r.Collisions, r.Repairs)
+}
+
+// Validate checks the internal consistency of the result against the
+// topology and the engine's contract:
+//
+//   - every transmitting node other than the source decoded strictly
+//     before its first transmission;
+//   - transmission slot lists are strictly increasing;
+//   - Tx equals the total number of logged transmissions;
+//   - Rx equals the sum over transmissions of the transmitter's degree;
+//   - Delay equals the maximum decode slot;
+//   - energy matches the ledger formula.
+func (r *Result) Validate(t grid.Topology, model radio.Model, pkt radio.Packet) error {
+	if t.NumNodes() != r.Total+r.Down {
+		return fmt.Errorf("sim: result total %d + down %d != topology %d",
+			r.Total, r.Down, t.NumNodes())
+	}
+	liveDegree := func(i int) int {
+		if r.downMask == nil {
+			return t.Degree(t.At(i))
+		}
+		d := 0
+		for _, nb := range t.Neighbors(t.At(i), nil) {
+			if !r.downMask[t.Index(nb)] {
+				d++
+			}
+		}
+		return d
+	}
+	txCount, rxCount := 0, 0
+	srcIdx := t.Index(r.Source)
+	for i, slots := range r.TxSlots {
+		if r.IsDown(i) && (len(slots) > 0 || r.DecodeSlot[i] >= 0) {
+			return fmt.Errorf("sim: down node %v transmitted or decoded", t.At(i))
+		}
+		for k := 1; k < len(slots); k++ {
+			if slots[k] <= slots[k-1] {
+				return fmt.Errorf("sim: node %v tx slots not increasing: %v", t.At(i), slots)
+			}
+		}
+		if len(slots) > 0 {
+			txCount += len(slots)
+			rxCount += len(slots) * liveDegree(i)
+			first := slots[0]
+			if i == srcIdx {
+				if first != SourceTx {
+					return fmt.Errorf("sim: source first tx in slot %d", first)
+				}
+			} else {
+				d := r.DecodeSlot[i]
+				if d < 0 {
+					return fmt.Errorf("sim: node %v transmitted without decoding", t.At(i))
+				}
+				if first <= d {
+					return fmt.Errorf("sim: node %v transmitted in slot %d but decoded in %d",
+						t.At(i), first, d)
+				}
+			}
+		}
+	}
+	if txCount != r.Tx {
+		return fmt.Errorf("sim: Tx=%d but logged %d transmissions", r.Tx, txCount)
+	}
+	if rxCount != r.Rx {
+		return fmt.Errorf("sim: Rx=%d but degree-sum is %d", r.Rx, rxCount)
+	}
+	maxDecode := 0
+	reached := 0
+	for i, d := range r.DecodeSlot {
+		if d >= 0 {
+			reached++
+			if d > maxDecode && i != srcIdx {
+				maxDecode = d
+			}
+		}
+	}
+	if reached != r.Reached {
+		return fmt.Errorf("sim: Reached=%d but %d decode slots set", r.Reached, reached)
+	}
+	if r.Delay != maxDecode {
+		return fmt.Errorf("sim: Delay=%d but max decode slot is %d", r.Delay, maxDecode)
+	}
+	ledger := radio.NewLedger(model, pkt)
+	ledger.AddTx(r.Tx)
+	ledger.AddRx(r.Rx)
+	if diff := r.EnergyJ - ledger.TotalJ(); diff > 1e-12 || diff < -1e-12 {
+		return fmt.Errorf("sim: EnergyJ=%g, ledger says %g", r.EnergyJ, ledger.TotalJ())
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+
+	"wsnbcast/internal/grid"
+)
+
+// SnapshotProtocol replays the exact transmission schedule of a
+// completed broadcast, expressed relative to each node's decode time.
+// It freezes the scheduler's planned repairs into ordinary protocol
+// rules, so the schedule can be re-executed — or pipelined — without
+// the planner. A snapshot is only meaningful for the (topology,
+// source) it was taken from.
+type SnapshotProtocol struct {
+	name   string
+	source grid.Coord
+	kind   grid.Kind
+	total  int
+	// roles[i]: transmission plan of node i.
+	roles []snapshotRole
+}
+
+type snapshotRole struct {
+	relay   bool
+	delay   int   // first tx = decode + delay
+	offsets []int // further txs = first + offset
+}
+
+// Snapshot runs one broadcast of p from src and captures its final
+// schedule (including any planned repairs) as a protocol.
+func Snapshot(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*SnapshotProtocol, *Result, error) {
+	r, err := Run(t, p, src, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &SnapshotProtocol{
+		name:   p.Name() + "-snapshot",
+		source: src,
+		kind:   t.Kind(),
+		total:  t.NumNodes(),
+		roles:  make([]snapshotRole, t.NumNodes()),
+	}
+	for i, slots := range r.TxSlots {
+		if len(slots) == 0 {
+			continue
+		}
+		d := r.DecodeSlot[i]
+		if d < 0 {
+			// Cannot happen for a transmitter (the engine enforces
+			// decode-before-transmit), but stay defensive.
+			continue
+		}
+		role := snapshotRole{relay: true, delay: slots[0] - d}
+		if role.delay < 1 {
+			role.delay = 1 // the source "decodes" in its own tx slot
+		}
+		for _, s2 := range slots[1:] {
+			role.offsets = append(role.offsets, s2-slots[0])
+		}
+		s.roles[i] = role
+	}
+	return s, r, nil
+}
+
+// Name implements Protocol.
+func (s *SnapshotProtocol) Name() string { return s.name }
+
+// Source returns the source the snapshot was taken from.
+func (s *SnapshotProtocol) Source() grid.Coord { return s.source }
+
+// Validate reports whether the snapshot matches the given topology and
+// source.
+func (s *SnapshotProtocol) Validate(t grid.Topology, src grid.Coord) error {
+	if t.Kind() != s.kind || t.NumNodes() != s.total {
+		return fmt.Errorf("sim: snapshot taken on %v/%d nodes, used on %v/%d",
+			s.kind, s.total, t.Kind(), t.NumNodes())
+	}
+	if src != s.source {
+		return fmt.Errorf("sim: snapshot taken for source %s, used with %s", s.source, src)
+	}
+	return nil
+}
+
+// IsRelay implements Protocol.
+func (s *SnapshotProtocol) IsRelay(t grid.Topology, _, c grid.Coord) bool {
+	return s.roles[t.Index(c)].relay
+}
+
+// TxDelay implements Protocol.
+func (s *SnapshotProtocol) TxDelay(t grid.Topology, _, c grid.Coord) int {
+	if d := s.roles[t.Index(c)].delay; d >= 1 {
+		return d
+	}
+	return 1
+}
+
+// Retransmits implements Protocol.
+func (s *SnapshotProtocol) Retransmits(t grid.Topology, _, c grid.Coord) []int {
+	return s.roles[t.Index(c)].offsets
+}
+
+var _ Protocol = (*SnapshotProtocol)(nil)

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+)
+
+// A snapshot replayed on the same topology/source reproduces the
+// original run exactly — including any planned repairs, now baked into
+// the roles.
+func TestSnapshotReplaysExactly(t *testing.T) {
+	topo := grid.NewMesh2D4(12, 9)
+	src := grid.C2(5, 4)
+	snap, orig, err := Snapshot(topo, allRelay("flood"), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(topo, src); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Run(topo, snap, src, Config{DisableRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Tx != orig.Tx || replay.Rx != orig.Rx || replay.Delay != orig.Delay {
+		t.Errorf("replay Tx/Rx/Delay = %d/%d/%d, original %d/%d/%d",
+			replay.Tx, replay.Rx, replay.Delay, orig.Tx, orig.Rx, orig.Delay)
+	}
+	if !replay.FullyReached() {
+		t.Error("replay incomplete")
+	}
+	if replay.Repairs != 0 {
+		t.Errorf("replay needed %d repairs — snapshot should have frozen them", replay.Repairs)
+	}
+	for i := range replay.TxSlots {
+		if len(replay.TxSlots[i]) != len(orig.TxSlots[i]) {
+			t.Fatalf("node %v: replay tx count %d != original %d",
+				topo.At(i), len(replay.TxSlots[i]), len(orig.TxSlots[i]))
+		}
+		for k := range replay.TxSlots[i] {
+			if replay.TxSlots[i][k] != orig.TxSlots[i][k] {
+				t.Fatalf("node %v: tx slot %d differs", topo.At(i), k)
+			}
+		}
+	}
+	if err := replay.Validate(topo, radio.Default(), radio.CanonicalPacket()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotValidateMismatch(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(4, 4)
+	snap, _, err := Snapshot(topo, allRelay("flood"), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(grid.NewMesh2D4(9, 9), src); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := snap.Validate(topo, grid.C2(1, 1)); err == nil {
+		t.Error("source mismatch accepted")
+	}
+	if err := snap.Validate(grid.NewMesh2D8(8, 8), src); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+func TestSnapshotName(t *testing.T) {
+	topo := grid.NewMesh2D4(4, 4)
+	snap, _, err := Snapshot(topo, allRelay("flood"), grid.C2(2, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name() != "flood-snapshot" {
+		t.Errorf("name = %q", snap.Name())
+	}
+	if snap.Source() != grid.C2(2, 2) {
+		t.Errorf("source = %v", snap.Source())
+	}
+}

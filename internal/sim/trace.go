@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+
+	"wsnbcast/internal/grid"
+)
+
+// EventKind classifies trace events emitted by the engine.
+type EventKind int
+
+const (
+	// EventTx is a node transmitting the broadcast message in a slot.
+	EventTx EventKind = iota
+	// EventDecode is a node successfully decoding the message for the
+	// first time.
+	EventDecode
+	// EventDuplicate is a node decoding a copy it already holds.
+	EventDuplicate
+	// EventCollision is a node hearing two or more simultaneous
+	// transmissions and decoding nothing.
+	EventCollision
+	// EventRepair is the scheduler granting an unplanned retransmission
+	// to cover a node the protocol rules left unreachable.
+	EventRepair
+)
+
+// String names the event kind for human-readable traces.
+func (k EventKind) String() string {
+	switch k {
+	case EventTx:
+		return "tx"
+	case EventDecode:
+		return "decode"
+	case EventDuplicate:
+		return "dup"
+	case EventCollision:
+		return "collide"
+	case EventRepair:
+		return "repair"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one engine occurrence: node did/suffered kind in slot.
+type Event struct {
+	Slot int
+	Kind EventKind
+	Node grid.Coord
+}
+
+// String renders the event as "slot 12: decode (3,4)".
+func (e Event) String() string {
+	return fmt.Sprintf("slot %d: %s %s", e.Slot, e.Kind, e.Node)
+}
+
+// TraceFunc receives engine events in deterministic order. A nil trace
+// is never called.
+type TraceFunc func(Event)
+
+// CollectTrace returns a TraceFunc appending to the given slice, for
+// tests and the viz tool.
+func CollectTrace(dst *[]Event) TraceFunc {
+	return func(e Event) { *dst = append(*dst, e) }
+}

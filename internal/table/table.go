@@ -1,0 +1,154 @@
+// Package table renders fixed-width text tables in the visual style of
+// the paper's Tables 1-5, for the wsnbench tool and EXPERIMENTS.md.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells. The zero value is ready to use.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; values are rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatJ(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRule := func() {
+		sb.WriteByte('+')
+		for _, wd := range widths {
+			sb.WriteString(strings.Repeat("-", wd+2))
+			sb.WriteByte('+')
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		sb.WriteByte('|')
+		for i, wd := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&sb, " %-*s |", wd, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRule()
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		writeRule()
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	writeRule()
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// FormatJ renders an energy in Joules the way the paper prints it:
+// three significant digits with a power-of-ten exponent, e.g.
+// "2.18e-02".
+func FormatJ(v float64) string {
+	return fmt.Sprintf("%.2e", v)
+}
+
+// FormatFraction renders an exact fraction like the paper's Table 1
+// ("3/4").
+func FormatFraction(num, den int) string {
+	return fmt.Sprintf("%d/%d", num, den)
+}
+
+// FormatPercent renders a ratio as a percentage with one decimal.
+func FormatPercent(r float64) string {
+	return fmt.Sprintf("%.1f%%", 100*r)
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	if cols == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	cell := func(cells []string, i int) string {
+		if i < len(cells) {
+			return strings.ReplaceAll(cells[i], "|", "\\|")
+		}
+		return ""
+	}
+	sb.WriteByte('|')
+	for i := 0; i < cols; i++ {
+		sb.WriteString(" " + cell(t.Headers, i) + " |")
+	}
+	sb.WriteByte('\n')
+	sb.WriteByte('|')
+	for i := 0; i < cols; i++ {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteByte('|')
+		for i := 0; i < cols; i++ {
+			sb.WriteString(" " + cell(row, i) + " |")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

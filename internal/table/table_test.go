@@ -1,0 +1,111 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tbl := Table{
+		Title:   "Table 1. Optimal ETRs",
+		Headers: []string{"Topology", "Optimal ETR"},
+	}
+	tbl.AddRow("2D-3", "2/3")
+	tbl.AddRow("2D-4", "3/4")
+	out := tbl.String()
+	for _, want := range []string{"Table 1. Optimal ETRs", "| Topology |", "| 2D-3", "| 3/4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + rule + header + rule + 2 rows + rule = 7 lines.
+	if len(lines) != 7 {
+		t.Errorf("line count = %d, want 7:\n%s", len(lines), out)
+	}
+	// All rules and rows must have equal width.
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Errorf("ragged table: %q", l)
+		}
+	}
+}
+
+func TestAddRowTypes(t *testing.T) {
+	var tbl Table
+	tbl.Headers = []string{"a", "b", "c"}
+	tbl.AddRow(42, 2.18e-2, "x")
+	if got := tbl.Rows[0][0]; got != "42" {
+		t.Errorf("int cell = %q", got)
+	}
+	if got := tbl.Rows[0][1]; got != "2.18e-02" {
+		t.Errorf("float cell = %q", got)
+	}
+}
+
+func TestNoHeaders(t *testing.T) {
+	var tbl Table
+	tbl.AddRow("only", "rows")
+	out := tbl.String()
+	if strings.Count(out, "+") < 4 {
+		t.Errorf("missing rules:\n%s", out)
+	}
+}
+
+func TestFormatJ(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.18e-2, "2.18e-02"},
+		{2.61e-2, "2.61e-02"},
+		{0, "0.00e+00"},
+	}
+	for _, c := range cases {
+		if got := FormatJ(c.in); got != c.want {
+			t.Errorf("FormatJ(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatFraction(t *testing.T) {
+	if got := FormatFraction(5, 8); got != "5/8" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if got := FormatPercent(0.082); got != "8.2%" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tbl := Table{Headers: []string{"a", "b", "c"}}
+	tbl.AddRow("x") // shorter than headers
+	out := tbl.String()
+	if !strings.Contains(out, "| x") {
+		t.Errorf("row not rendered:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := Table{Title: "T", Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "x|y")
+	md := tbl.Markdown()
+	for _, want := range []string{"**T**", "| a | b |", "|---|---|", `x\|y`} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	empty := Table{}
+	if empty.Markdown() != "" {
+		t.Error("empty table should render nothing")
+	}
+	short := Table{Headers: []string{"a", "b", "c"}}
+	short.AddRow("only")
+	if !strings.Contains(short.Markdown(), "| only |  |  |") {
+		t.Errorf("short row padding:\n%s", short.Markdown())
+	}
+}

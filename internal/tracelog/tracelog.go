@@ -1,0 +1,160 @@
+// Package tracelog serializes engine traces as JSON Lines, one event
+// per line, for offline analysis and tooling: dump a broadcast's full
+// schedule with wsnviz -trace, then replay, diff or plot it with any
+// JSON-speaking tool.
+package tracelog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Record is the JSONL form of one engine event.
+type Record struct {
+	Slot int    `json:"slot"`
+	Kind string `json:"kind"` // tx, decode, dup, collide, repair
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+	Z    int    `json:"z,omitempty"`
+}
+
+// FromEvent converts an engine event.
+func FromEvent(e sim.Event) Record {
+	z := e.Node.Z
+	if z == 1 {
+		z = 0 // omitted for 2D traces
+	}
+	return Record{Slot: e.Slot, Kind: e.Kind.String(), X: e.Node.X, Y: e.Node.Y, Z: z}
+}
+
+// Event converts the record back to an engine event.
+func (r Record) Event() (sim.Event, error) {
+	var kind sim.EventKind
+	switch r.Kind {
+	case "tx":
+		kind = sim.EventTx
+	case "decode":
+		kind = sim.EventDecode
+	case "dup":
+		kind = sim.EventDuplicate
+	case "collide":
+		kind = sim.EventCollision
+	case "repair":
+		kind = sim.EventRepair
+	default:
+		return sim.Event{}, fmt.Errorf("tracelog: unknown event kind %q", r.Kind)
+	}
+	z := r.Z
+	if z == 0 {
+		z = 1
+	}
+	return sim.Event{Slot: r.Slot, Kind: kind, Node: grid.C3(r.X, r.Y, z)}, nil
+}
+
+// Writer streams events to JSONL. Use Sink as a sim Config.Trace and
+// Flush when the run finishes.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// Sink returns a TraceFunc that appends each event as one JSON line.
+func (w *Writer) Sink() sim.TraceFunc {
+	return func(e sim.Event) {
+		if w.err != nil {
+			return
+		}
+		b, err := json.Marshal(FromEvent(e))
+		if err != nil {
+			w.err = err
+			return
+		}
+		if _, err := w.bw.Write(append(b, '\n')); err != nil {
+			w.err = err
+		}
+	}
+}
+
+// Flush flushes buffered lines and reports any write error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Read parses a JSONL trace back into events.
+func Read(r io.Reader) ([]sim.Event, error) {
+	var out []sim.Event
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tracelog: line %d: %w", line, err)
+		}
+		e, err := rec.Event()
+		if err != nil {
+			return nil, fmt.Errorf("tracelog: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Check validates the causal structure of a trace: slots never
+// decrease, every decode of a node happens at most once, every
+// transmission of a non-source node follows its decode, and every
+// repair is followed by a same-slot transmission of the same node.
+func Check(events []sim.Event, source grid.Coord) error {
+	prevSlot := 0
+	decoded := map[grid.Coord]int{source: 0}
+	firstTx := map[grid.Coord]int{}
+	pendingRepair := map[grid.Coord]int{}
+	for i, e := range events {
+		if e.Slot < prevSlot {
+			return fmt.Errorf("tracelog: event %d (%s) goes back in time", i, e)
+		}
+		prevSlot = e.Slot
+		switch e.Kind {
+		case sim.EventDecode:
+			if _, dup := decoded[e.Node]; dup {
+				return fmt.Errorf("tracelog: event %d: %s decoded twice", i, e.Node)
+			}
+			decoded[e.Node] = e.Slot
+		case sim.EventTx:
+			if d, ok := decoded[e.Node]; ok {
+				if e.Node != source && e.Slot <= d {
+					return fmt.Errorf("tracelog: event %d: %s transmitted at/before decode", i, e.Node)
+				}
+			} else if e.Node != source {
+				return fmt.Errorf("tracelog: event %d: %s transmitted without decoding", i, e.Node)
+			}
+			if _, ok := firstTx[e.Node]; !ok {
+				firstTx[e.Node] = e.Slot
+			}
+			delete(pendingRepair, e.Node)
+		case sim.EventRepair:
+			pendingRepair[e.Node] = e.Slot
+		}
+	}
+	for node, slot := range pendingRepair {
+		return fmt.Errorf("tracelog: repair of %s at slot %d never transmitted", node, slot)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package verify statically checks a broadcast protocol against a
+// topology before any simulation: is the relay set connected, does it
+// dominate the mesh (every node within one hop of a relay), are the
+// retransmission offsets well-formed? These are the structural
+// preconditions behind the paper's 100%-reachability claim; the
+// checker pinpoints counterexample nodes when they fail.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// Issue is one structural problem found by Check.
+type Issue struct {
+	// Kind classifies the issue.
+	Kind IssueKind
+	// Node is the counterexample node.
+	Node grid.Coord
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// IssueKind classifies verification failures.
+type IssueKind int
+
+const (
+	// NotDominated: the node has no relay within one hop (and is not a
+	// relay itself), so no transmission can ever reach it.
+	NotDominated IssueKind = iota
+	// RelayUnreachable: the relay subgraph (plus the source) does not
+	// connect this relay to the source, so it can never obtain the
+	// message through relays alone. This is a warning-level issue:
+	// non-relay neighbors may still deliver to it in simulation.
+	RelayUnreachable
+	// BadOffset: the protocol returned a retransmission offset < 1.
+	BadOffset
+	// BadDelay: the protocol returned a forwarding delay < 1 (the
+	// engine clamps it, but the protocol contract asks for >= 1).
+	BadDelay
+)
+
+// String names the issue kind.
+func (k IssueKind) String() string {
+	switch k {
+	case NotDominated:
+		return "not-dominated"
+	case RelayUnreachable:
+		return "relay-unreachable"
+	case BadOffset:
+		return "bad-offset"
+	case BadDelay:
+		return "bad-delay"
+	default:
+		return fmt.Sprintf("IssueKind(%d)", int(k))
+	}
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("%s at %s: %s", i.Kind, i.Node, i.Detail)
+}
+
+// Report is the outcome of a verification pass.
+type Report struct {
+	Topology grid.Kind
+	Protocol string
+	Source   grid.Coord
+	// Relays is the number of relay nodes (the source included).
+	Relays int
+	// Issues lists every structural problem found, sorted by node
+	// index; empty means the protocol passes.
+	Issues []Issue
+}
+
+// OK reports whether no fatal issue was found (RelayUnreachable is a
+// warning: simulation may still succeed through non-relay deliveries).
+func (r Report) OK() bool {
+	for _, i := range r.Issues {
+		if i.Kind != RelayUnreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Fatal returns only the fatal issues.
+func (r Report) Fatal() []Issue {
+	var out []Issue
+	for _, i := range r.Issues {
+		if i.Kind != RelayUnreachable {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Check verifies the protocol's relay structure for one source.
+func Check(t grid.Topology, p sim.Protocol, src grid.Coord) (Report, error) {
+	if !t.Contains(src) {
+		return Report{}, fmt.Errorf("verify: source %s outside mesh", src)
+	}
+	rep := Report{Topology: t.Kind(), Protocol: p.Name(), Source: src}
+	v := t.NumNodes()
+	relay := make([]bool, v)
+	srcIdx := t.Index(src)
+	relay[srcIdx] = true
+	rep.Relays = 1
+	for i := 0; i < v; i++ {
+		c := t.At(i)
+		if i != srcIdx && p.IsRelay(t, src, c) {
+			relay[i] = true
+			rep.Relays++
+		}
+		if d := p.TxDelay(t, src, c); d < 1 {
+			rep.Issues = append(rep.Issues, Issue{
+				Kind: BadDelay, Node: c,
+				Detail: fmt.Sprintf("TxDelay = %d, want >= 1", d),
+			})
+		}
+		for _, off := range p.Retransmits(t, src, c) {
+			if off < 1 {
+				rep.Issues = append(rep.Issues, Issue{
+					Kind: BadOffset, Node: c,
+					Detail: fmt.Sprintf("retransmit offset %d, want >= 1", off),
+				})
+			}
+		}
+	}
+
+	// Domination: every node must be a relay or adjacent to one.
+	var buf []grid.Coord
+	for i := 0; i < v; i++ {
+		if relay[i] {
+			continue
+		}
+		c := t.At(i)
+		buf = t.Neighbors(c, buf[:0])
+		dominated := false
+		for _, nb := range buf {
+			if relay[t.Index(nb)] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			rep.Issues = append(rep.Issues, Issue{
+				Kind: NotDominated, Node: c,
+				Detail: "no relay within one hop; unreachable by any schedule",
+			})
+		}
+	}
+
+	// Relay-subgraph connectivity from the source.
+	seen := make([]bool, v)
+	seen[srcIdx] = true
+	queue := []int{srcIdx}
+	for head := 0; head < len(queue); head++ {
+		buf = t.Neighbors(t.At(queue[head]), buf[:0])
+		for _, nb := range buf {
+			j := t.Index(nb)
+			if relay[j] && !seen[j] {
+				seen[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	for i := 0; i < v; i++ {
+		if relay[i] && !seen[i] {
+			rep.Issues = append(rep.Issues, Issue{
+				Kind: RelayUnreachable, Node: t.At(i),
+				Detail: "relay not connected to the source through relays",
+			})
+		}
+	}
+	sort.Slice(rep.Issues, func(a, b int) bool {
+		ia, ib := t.Index(rep.Issues[a].Node), t.Index(rep.Issues[b].Node)
+		if ia != ib {
+			return ia < ib
+		}
+		return rep.Issues[a].Kind < rep.Issues[b].Kind
+	})
+	return rep, nil
+}
+
+// CheckAllSources runs Check from every source and returns the first
+// failing report (by source index), or a passing report for the last
+// source when everything is fine.
+func CheckAllSources(t grid.Topology, p sim.Protocol) (Report, error) {
+	var last Report
+	for i := 0; i < t.NumNodes(); i++ {
+		rep, err := Check(t, p, t.At(i))
+		if err != nil {
+			return rep, err
+		}
+		if !rep.OK() {
+			return rep, nil
+		}
+		last = rep
+	}
+	return last, nil
+}

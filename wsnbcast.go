@@ -1,0 +1,131 @@
+package wsnbcast
+
+import (
+	"wsnbcast/internal/analysis"
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/experiments"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+	"wsnbcast/internal/render"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/table"
+)
+
+// Re-exported fundamental types. The underlying packages are internal;
+// this facade is the supported API surface.
+type (
+	// Coord is a node id: (x, y) in 2D meshes, (x, y, z) in 3D, 1-based.
+	Coord = grid.Coord
+	// Kind selects one of the four regular topologies.
+	Kind = grid.Kind
+	// Topology is pure mesh geometry.
+	Topology = grid.Topology
+	// Protocol is a broadcast protocol as pure node-local rules.
+	Protocol = sim.Protocol
+	// Config parameterizes a simulated broadcast.
+	Config = sim.Config
+	// Result is the outcome of one broadcast.
+	Result = sim.Result
+	// Event is one trace occurrence; see CollectTrace.
+	Event = sim.Event
+	// Summary aggregates a full source-position sweep.
+	Summary = analysis.Summary
+	// LifetimeReport estimates battery-bounded broadcast rounds.
+	LifetimeReport = analysis.LifetimeReport
+	// Ideal is the collision-free optimal-ETR lower bound (Table 2).
+	Ideal = core.Ideal
+	// RadioModel is the First Order Radio Model.
+	RadioModel = radio.Model
+	// Packet is the broadcast packet parameters (bits, spacing).
+	Packet = radio.Packet
+	// Table is a renderable fixed-width text table.
+	Table = table.Table
+)
+
+// The four topology kinds of the paper.
+const (
+	Mesh2D3 = grid.Mesh2D3
+	Mesh2D4 = grid.Mesh2D4
+	Mesh2D8 = grid.Mesh2D8
+	Mesh3D6 = grid.Mesh3D6
+)
+
+// At builds a 2D node id.
+func At(x, y int) Coord { return grid.C2(x, y) }
+
+// At3 builds a 3D node id.
+func At3(x, y, z int) Coord { return grid.C3(x, y, z) }
+
+// NewTopology constructs an m x n (x l, for Mesh3D6) regular mesh.
+func NewTopology(k Kind, m, n, l int) Topology { return grid.New(k, m, n, l) }
+
+// CanonicalTopology returns the paper's 512-node evaluation mesh:
+// 32x16 for the 2D kinds, 8x8x8 for Mesh3D6.
+func CanonicalTopology(k Kind) Topology { return grid.Canonical(k) }
+
+// Kinds lists the four topologies in the paper's order.
+func Kinds() []Kind { return grid.Kinds() }
+
+// PaperProtocol returns the paper's broadcasting protocol for the
+// topology kind (Sections 3.1-3.4).
+func PaperProtocol(k Kind) Protocol { return core.ForTopology(k) }
+
+// Flooding returns the blind-flooding baseline ("traditional
+// broadcasting", Section 1).
+func Flooding() Protocol { return core.NewFlooding() }
+
+// JitteredFlooding returns flooding with a deterministic forwarding
+// jitter of 1..j slots.
+func JitteredFlooding(j int) Protocol { return core.NewJitteredFlooding(j) }
+
+// DefaultRadio returns the paper's First Order Radio Model constants.
+func DefaultRadio() RadioModel { return radio.Default() }
+
+// CanonicalPacket returns the paper's packet parameters: 512 bits,
+// 0.5 m node spacing.
+func CanonicalPacket() Packet { return radio.CanonicalPacket() }
+
+// Broadcast simulates one one-to-all broadcast of p from src on t.
+func Broadcast(t Topology, p Protocol, src Coord, cfg Config) (*Result, error) {
+	return sim.Run(t, p, src, cfg)
+}
+
+// CollectTrace returns a trace sink appending every engine event to
+// dst; pass it as Config.Trace.
+func CollectTrace(dst *[]Event) func(Event) { return sim.CollectTrace(dst) }
+
+// Sweep runs p from every source position of t and aggregates the
+// paper's best/worst/max-delay statistics.
+func Sweep(t Topology, p Protocol, cfg Config) (Summary, error) {
+	return analysis.Sweep(t, p, cfg)
+}
+
+// Lifetime estimates how many broadcasts a per-node battery of budgetJ
+// Joules sustains before the most-loaded node dies.
+func Lifetime(t Topology, p Protocol, src Coord, cfg Config, budgetJ float64) (LifetimeReport, error) {
+	return analysis.Lifetime(t, p, src, cfg, budgetJ)
+}
+
+// IdealCase computes the paper's collision-free optimal-ETR lower
+// bound for t (Table 2's rows).
+func IdealCase(t Topology, m RadioModel, p Packet) Ideal {
+	return core.IdealCase(t, m, p)
+}
+
+// OptimalETR returns Table 1's optimal efficient transmission ratio
+// for the kind, as an exact fraction.
+func OptimalETR(k Kind) (num, den int) { return core.OptimalETR(k) }
+
+// Tables regenerates the paper's Tables 1-5 (the sweeps take a few
+// seconds on the canonical meshes).
+func Tables() ([]*Table, error) { return experiments.AllTables(experiments.Config{}) }
+
+// Figure renders figure n of the paper (1-9) as ASCII.
+func Figure(n int) (string, error) { return experiments.Figure(n, experiments.Config{}) }
+
+// BroadcastMap renders one XY plane of a finished broadcast as a relay
+// map in the style of the paper's Figs. 5, 7 and 8.
+func BroadcastMap(t Topology, r *Result, z int) string { return render.BroadcastMap(t, r, z) }
+
+// SequenceMap renders each node's first transmission slot.
+func SequenceMap(t Topology, r *Result, z int) string { return render.SequenceMap(t, r, z) }

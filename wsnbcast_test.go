@@ -1,0 +1,123 @@
+package wsnbcast_test
+
+import (
+	"strings"
+	"testing"
+
+	"wsnbcast"
+)
+
+// The facade quick-start path works end to end.
+func TestQuickstartPath(t *testing.T) {
+	topo := wsnbcast.CanonicalTopology(wsnbcast.Mesh2D4)
+	if topo.NumNodes() != 512 {
+		t.Fatalf("canonical nodes = %d", topo.NumNodes())
+	}
+	res, err := wsnbcast.Broadcast(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4),
+		wsnbcast.At(16, 8), wsnbcast.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullyReached() {
+		t.Fatalf("reached %d/%d", res.Reached, res.Total)
+	}
+	if res.Tx != 208 {
+		t.Errorf("Tx = %d, want 208 (the paper's best case)", res.Tx)
+	}
+}
+
+func TestFacadeKindsAndETR(t *testing.T) {
+	ks := wsnbcast.Kinds()
+	if len(ks) != 4 {
+		t.Fatalf("Kinds = %v", ks)
+	}
+	num, den := wsnbcast.OptimalETR(wsnbcast.Mesh2D8)
+	if num != 5 || den != 8 {
+		t.Errorf("OptimalETR(2D-8) = %d/%d", num, den)
+	}
+}
+
+func TestFacadeIdeal(t *testing.T) {
+	ideal := wsnbcast.IdealCase(wsnbcast.CanonicalTopology(wsnbcast.Mesh2D3),
+		wsnbcast.DefaultRadio(), wsnbcast.CanonicalPacket())
+	if ideal.Tx != 255 || ideal.Rx != 765 {
+		t.Errorf("ideal = %+v, want Tx 255 Rx 765", ideal)
+	}
+}
+
+func TestFacadeSweepAndLifetime(t *testing.T) {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 8, 8, 1)
+	s, err := wsnbcast.Sweep(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4), wsnbcast.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs != 64 {
+		t.Errorf("Runs = %d", s.Runs)
+	}
+	rep, err := wsnbcast.Lifetime(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4),
+		wsnbcast.At(4, 4), wsnbcast.Config{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundsOnBudget <= 0 {
+		t.Errorf("rounds = %d", rep.RoundsOnBudget)
+	}
+}
+
+func TestFacadeFloodingBaselines(t *testing.T) {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 10, 10, 1)
+	for _, p := range []wsnbcast.Protocol{wsnbcast.Flooding(), wsnbcast.JitteredFlooding(5)} {
+		r, err := wsnbcast.Broadcast(topo, p, wsnbcast.At(5, 5), wsnbcast.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.FullyReached() {
+			t.Errorf("%s incomplete", p.Name())
+		}
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 5, 5, 1)
+	var events []wsnbcast.Event
+	_, err := wsnbcast.Broadcast(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4),
+		wsnbcast.At(3, 3), wsnbcast.Config{Trace: wsnbcast.CollectTrace(&events)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Error("no trace events")
+	}
+}
+
+func TestFacadeFigureAndMaps(t *testing.T) {
+	out, err := wsnbcast.Figure(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "5/8") {
+		t.Errorf("figure 6 content:\n%s", out)
+	}
+	topo := wsnbcast.NewTopology(wsnbcast.Mesh2D4, 8, 8, 1)
+	r, err := wsnbcast.Broadcast(topo, wsnbcast.PaperProtocol(wsnbcast.Mesh2D4),
+		wsnbcast.At(4, 4), wsnbcast.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := wsnbcast.BroadcastMap(topo, r, 1); !strings.Contains(m, "S") {
+		t.Error("broadcast map missing source")
+	}
+	if m := wsnbcast.SequenceMap(topo, r, 1); !strings.Contains(m, " 0") {
+		t.Error("sequence map missing slot 0")
+	}
+}
+
+func TestFacadeAt3(t *testing.T) {
+	c := wsnbcast.At3(2, 3, 4)
+	if c.X != 2 || c.Y != 3 || c.Z != 4 {
+		t.Errorf("At3 = %v", c)
+	}
+	if wsnbcast.At(2, 3).Z != 1 {
+		t.Error("At should set Z=1")
+	}
+}

@@ -1,0 +1,36 @@
+# Tier-1 verification and development targets. `make verify` is the
+# full pre-merge gate: build, vet, tests, and the race detector over
+# the whole module (the differential and concurrency-audit tests in
+# internal/sweep only prove anything when the race target runs).
+
+GO ?= go
+
+.PHONY: all build test race bench vet verify golden
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race target is part of tier-1 verification: it runs the
+# differential sweep tests and the concurrency-safety audit under the
+# race detector.
+race:
+	$(GO) test -race ./...
+
+# Sweep-engine scaling benchmarks (plus the per-table harness
+# benchmarks at the repo root).
+bench:
+	$(GO) test ./internal/sweep -bench=Sweep -benchtime=3x -run=^$$
+
+vet:
+	$(GO) vet ./...
+
+verify: build vet test race
+
+# Regenerate the golden files after an intended output change.
+golden:
+	$(GO) test ./internal/experiments -run Golden -update

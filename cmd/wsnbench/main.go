@@ -25,16 +25,17 @@ func main() {
 	ablations := flag.Bool("ablations", false, "print only the ablation tables")
 	extensions := flag.Bool("extensions", false, "print only the extension tables (E1-E7)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown instead of ASCII boxes")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS); tables are identical for every value")
 	flag.Parse()
 
-	if err := run(*tableN, *ablations, *extensions, *markdown); err != nil {
+	if err := run(*tableN, *ablations, *extensions, *markdown, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "wsnbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableN int, ablationsOnly, extensionsOnly, markdown bool) error {
-	cfg := experiments.Config{}
+func run(tableN int, ablationsOnly, extensionsOnly, markdown bool, workers int) error {
+	cfg := experiments.Config{Workers: workers}
 	emit := func(t *table.Table) error {
 		if markdown {
 			if _, err := fmt.Print(t.Markdown()); err != nil {

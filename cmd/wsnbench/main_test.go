@@ -30,14 +30,14 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestRunSingleTables(t *testing.T) {
-	out, err := capture(t, func() error { return run(1, false, false, false) })
+	out, err := capture(t, func() error { return run(1, false, false, false, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "2/3") || !strings.Contains(out, "Optimal ETR") {
 		t.Errorf("table 1 output:\n%s", out)
 	}
-	out, err = capture(t, func() error { return run(2, false, false, false) })
+	out, err = capture(t, func() error { return run(2, false, false, false, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestRunSingleTables(t *testing.T) {
 }
 
 func TestRunMarkdown(t *testing.T) {
-	out, err := capture(t, func() error { return run(1, false, false, true) })
+	out, err := capture(t, func() error { return run(1, false, false, true, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,13 +57,13 @@ func TestRunMarkdown(t *testing.T) {
 }
 
 func TestRunBadTable(t *testing.T) {
-	if _, err := capture(t, func() error { return run(9, false, false, false) }); err == nil {
+	if _, err := capture(t, func() error { return run(9, false, false, false, 0) }); err == nil {
 		t.Error("table 9 accepted")
 	}
 }
 
 func TestRunAblationsOnly(t *testing.T) {
-	out, err := capture(t, func() error { return run(0, true, false, false) })
+	out, err := capture(t, func() error { return run(0, true, false, false, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestRunAblationsOnly(t *testing.T) {
 }
 
 func TestRunExtensionsOnly(t *testing.T) {
-	out, err := capture(t, func() error { return run(0, false, true, false) })
+	out, err := capture(t, func() error { return run(0, false, true, false, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}

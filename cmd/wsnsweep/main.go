@@ -3,15 +3,21 @@
 // delay, collisions and repairs. This is the raw data behind Tables
 // 3-5.
 //
+// The sweeps run on the parallel sweep engine (internal/sweep); rows
+// are gathered in job order, so the CSV is byte-identical for every
+// -workers value.
+//
 // Usage:
 //
 //	wsnsweep                       # canonical meshes, paper protocols
 //	wsnsweep -topo 2d8             # one topology
 //	wsnsweep -proto flooding       # a baseline protocol
 //	wsnsweep -m 20 -n 12 -l 1      # custom mesh size
+//	wsnsweep -workers 4            # bound the worker pool (0 = GOMAXPROCS)
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -22,6 +28,7 @@ import (
 	"wsnbcast/internal/core"
 	"wsnbcast/internal/grid"
 	"wsnbcast/internal/sim"
+	"wsnbcast/internal/sweep"
 )
 
 func main() {
@@ -30,9 +37,10 @@ func main() {
 	m := flag.Int("m", 0, "mesh width (0 = canonical)")
 	n := flag.Int("n", 0, "mesh height")
 	l := flag.Int("l", 0, "mesh depth (3d6)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*topoName, *protoName, *m, *n, *l); err != nil {
+	if err := run(*topoName, *protoName, *m, *n, *l, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "wsnsweep:", err)
 		os.Exit(1)
 	}
@@ -69,18 +77,15 @@ func protocol(name string, k grid.Kind) (sim.Protocol, error) {
 	}
 }
 
-func run(topoName, protoName string, m, n, l int) error {
+// jobs builds the full job list: every source of every selected
+// topology, in topology-then-source order. The engine's outcome order
+// matches, so the CSV rows below come out identical to a serial loop.
+func jobs(topoName, protoName string, m, n, l int) ([]sweep.Job, error) {
 	ks, err := kinds(topoName)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	header := []string{"topology", "protocol", "src_x", "src_y", "src_z",
-		"tx", "rx", "energy_j", "delay", "collisions", "duplicates", "repairs", "reached", "total"}
-	if err := w.Write(header); err != nil {
-		return err
-	}
+	var out []sweep.Job
 	for _, k := range ks {
 		topo := grid.Canonical(k)
 		if m > 0 && n > 0 {
@@ -95,26 +100,47 @@ func run(topoName, protoName string, m, n, l int) error {
 		}
 		p, err := protocol(protoName, k)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for i := 0; i < topo.NumNodes(); i++ {
-			src := topo.At(i)
-			r, err := sim.Run(topo, p, src, sim.Config{})
-			if err != nil {
-				return err
-			}
-			row := []string{
-				k.String(), p.Name(),
-				strconv.Itoa(src.X), strconv.Itoa(src.Y), strconv.Itoa(src.Z),
-				strconv.Itoa(r.Tx), strconv.Itoa(r.Rx),
-				strconv.FormatFloat(r.EnergyJ, 'e', 6, 64),
-				strconv.Itoa(r.Delay), strconv.Itoa(r.Collisions),
-				strconv.Itoa(r.Duplicates), strconv.Itoa(r.Repairs),
-				strconv.Itoa(r.Reached), strconv.Itoa(r.Total),
-			}
-			if err := w.Write(row); err != nil {
-				return err
-			}
+		out = append(out, sweep.SourceJobs(topo, p, sim.Config{})...)
+	}
+	return out, nil
+}
+
+func row(j sweep.Job, r *sim.Result) []string {
+	return []string{
+		j.Topology.Kind().String(), j.Protocol.Name(),
+		strconv.Itoa(j.Source.X), strconv.Itoa(j.Source.Y), strconv.Itoa(j.Source.Z),
+		strconv.Itoa(r.Tx), strconv.Itoa(r.Rx),
+		strconv.FormatFloat(r.EnergyJ, 'e', 6, 64),
+		strconv.Itoa(r.Delay), strconv.Itoa(r.Collisions),
+		strconv.Itoa(r.Duplicates), strconv.Itoa(r.Repairs),
+		strconv.Itoa(r.Reached), strconv.Itoa(r.Total),
+	}
+}
+
+func run(topoName, protoName string, m, n, l, workers int) error {
+	js, err := jobs(topoName, protoName, m, n, l)
+	if err != nil {
+		return err
+	}
+	outs, err := sweep.New(workers).Run(context.Background(), js)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{"topology", "protocol", "src_x", "src_y", "src_z",
+		"tx", "rx", "energy_j", "delay", "collisions", "duplicates", "repairs", "reached", "total"}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.Job, o.Err)
+		}
+		if err := w.Write(row(o.Job, o.Result)); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -31,7 +31,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestSweepCSV(t *testing.T) {
-	out, err := capture(t, func() error { return run("2d4", "paper", 6, 4, 0) })
+	out, err := capture(t, func() error { return run("2d4", "paper", 6, 4, 0, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +54,32 @@ func TestSweepCSV(t *testing.T) {
 }
 
 func TestSweepFloodingProto(t *testing.T) {
-	out, err := capture(t, func() error { return run("2d8", "flooding-jitter", 5, 4, 0) })
+	out, err := capture(t, func() error { return run("2d8", "flooding-jitter", 5, 4, 0, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "flooding-jitter") {
 		t.Error("protocol column wrong")
+	}
+}
+
+// The CSV must be byte-identical for every -workers value: the sweep
+// engine orders rows by job, not by completion.
+func TestSweepWorkersByteIdentical(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		out, err := capture(t, func() error { return run("", "paper", 8, 4, 2, workers) })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			want = out
+			continue
+		}
+		if out != want {
+			t.Errorf("workers=%d output differs from workers=1", workers)
+		}
 	}
 }
 

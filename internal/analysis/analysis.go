@@ -7,14 +7,14 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"wsnbcast/internal/grid"
 	"wsnbcast/internal/sim"
 	"wsnbcast/internal/stats"
+	"wsnbcast/internal/sweep"
 )
 
 // Summary aggregates one full sweep: the protocol run once from every
@@ -73,55 +73,63 @@ func (s Summary) EnergySpread() float64 {
 	return (s.Worst.EnergyJ - s.Best.EnergyJ) / s.Best.EnergyJ
 }
 
-// Sweep runs the protocol from every source of the topology in
-// parallel and aggregates the results. Every run must achieve 100%
-// reachability or Sweep returns an error naming the failing source.
+// Sweep runs the protocol from every source of the topology through
+// the parallel sweep engine and aggregates the results. Every run must
+// achieve 100% reachability or Sweep returns an error naming the
+// failing source.
 func Sweep(t grid.Topology, p sim.Protocol, cfg sim.Config) (Summary, error) {
 	return SweepSources(t, p, cfg, nil)
+}
+
+// SweepWorkers is Sweep with an explicit worker-pool size (<= 0 means
+// GOMAXPROCS).
+func SweepWorkers(t grid.Topology, p sim.Protocol, cfg sim.Config, workers int) (Summary, error) {
+	return SweepSourcesWorkers(t, p, cfg, nil, workers)
 }
 
 // SweepSources is Sweep restricted to the given sources (nil means all
 // nodes).
 func SweepSources(t grid.Topology, p sim.Protocol, cfg sim.Config, sources []grid.Coord) (Summary, error) {
+	return SweepSourcesWorkers(t, p, cfg, sources, 0)
+}
+
+// SweepSourcesWorkers runs the sweep on a pool of the given size
+// (<= 0 means GOMAXPROCS) and aggregates the outcomes in source order,
+// so the Summary is identical for every pool size.
+func SweepSourcesWorkers(t grid.Topology, p sim.Protocol, cfg sim.Config, sources []grid.Coord, workers int) (Summary, error) {
 	if sources == nil {
 		sources = make([]grid.Coord, t.NumNodes())
 		for i := range sources {
 			sources[i] = t.At(i)
 		}
 	}
-	results := make([]*sim.Result, len(sources))
-	errs := make([]error, len(sources))
+	jobs := make([]sweep.Job, len(sources))
+	for i, src := range sources {
+		jobs[i] = sweep.Job{Topology: t, Protocol: p, Source: src, Config: cfg}
+	}
+	outs, _ := sweep.New(workers).Run(context.Background(), jobs)
+	results := make([]*sim.Result, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return Summary{Kind: t.Kind(), Protocol: p.Name()},
+				fmt.Errorf("analysis: source %s: %w", sources[i], o.Err)
+		}
+		results[i] = o.Result
+	}
+	return Summarize(t, p, results)
+}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = sim.Run(t, p, sources[i], cfg)
-			}
-		}()
-	}
-	for i := range sources {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
+// Summarize aggregates per-source results into a Summary. The results
+// must be in the sweep's source order: ties for the best/worst case
+// keep the earliest source, so the order is part of the deterministic
+// output contract.
+func Summarize(t grid.Topology, p sim.Protocol, results []*sim.Result) (Summary, error) {
 	s := Summary{Kind: t.Kind(), Protocol: p.Name()}
 	sumEnergy := 0.0
-	for i, r := range results {
-		if errs[i] != nil {
-			return s, fmt.Errorf("analysis: source %s: %w", sources[i], errs[i])
-		}
+	for _, r := range results {
 		if !r.FullyReached() {
 			return s, fmt.Errorf("analysis: source %s reached only %d/%d nodes",
-				sources[i], r.Reached, r.Total)
+				r.Source, r.Reached, r.Total)
 		}
 		c := caseOf(r)
 		s.EnergyStats.Add(c.EnergyJ)

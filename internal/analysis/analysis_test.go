@@ -276,3 +276,49 @@ func TestIdleRankingFlips(t *testing.T) {
 			total[grid.Mesh3D6], total[grid.Mesh2D4])
 	}
 }
+
+// The Summary must be identical for every worker-pool size: Summarize
+// aggregates in source order, so tie-breaking never depends on
+// completion order.
+func TestSweepWorkersInvariant(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 6)
+	base, err := SweepWorkers(topo, core.NewMesh4Protocol(), sim.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7, 64} {
+		s, err := SweepWorkers(topo, core.NewMesh4Protocol(), sim.Config{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != base {
+			t.Errorf("workers=%d summary differs from workers=1:\n%+v\nvs\n%+v", workers, s, base)
+		}
+	}
+}
+
+// Summarize on an explicit serial result list must match the engine
+// path exactly.
+func TestSummarizeMatchesSweep(t *testing.T) {
+	topo := grid.NewMesh2D8(8, 5)
+	p := core.NewMesh8Protocol()
+	results := make([]*sim.Result, topo.NumNodes())
+	for i := range results {
+		r, err := sim.Run(topo, p, topo.At(i), sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+	}
+	fromSerial, err := Summarize(topo, p, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromEngine, err := Sweep(topo, p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSerial != fromEngine {
+		t.Errorf("Summarize(serial results) != Sweep:\n%+v\nvs\n%+v", fromSerial, fromEngine)
+	}
+}

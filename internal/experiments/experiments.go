@@ -2,9 +2,21 @@
 // paper's evaluation (Section 4) from the simulator, side by side with
 // the values the paper reports. It is the single source of truth for
 // the wsnbench/wsnviz tools, the benchmark harness and EXPERIMENTS.md.
+//
+// The source-position sweeps behind Tables 3-5 run on the parallel
+// sweep engine (internal/sweep); Config.Workers bounds the pool. The
+// engine gathers results in source order, so the tables are identical
+// for every pool size.
+//
+// The deterministic tables and figures are pinned by golden files
+// under testdata/; regenerate them after an intended output change
+// with:
+//
+//	go test ./internal/experiments -run Golden -update
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"wsnbcast/internal/analysis"
@@ -13,6 +25,7 @@ import (
 	"wsnbcast/internal/radio"
 	"wsnbcast/internal/render"
 	"wsnbcast/internal/sim"
+	"wsnbcast/internal/sweep"
 	"wsnbcast/internal/table"
 )
 
@@ -56,6 +69,10 @@ var (
 type Config struct {
 	Model  radio.Model
 	Packet radio.Packet
+	// Workers bounds the parallel sweep engine's pool; <= 0 means
+	// GOMAXPROCS. The tables are identical for every value (the sweep
+	// engine orders results by source, not by completion).
+	Workers int
 }
 
 func (c Config) fill() Config {
@@ -101,11 +118,37 @@ func Table2(cfg Config) *table.Table {
 }
 
 // sweepAll runs the full source sweep for every topology's paper
-// protocol and returns the summaries keyed by kind.
+// protocol and returns the summaries keyed by kind. All four sweeps
+// (4 x 512 sources) are flattened into one job list so the worker pool
+// stays saturated across topology boundaries; the per-kind summaries
+// aggregate each topology's slice of the ordered outcomes.
 func sweepAll(cfg Config) (map[grid.Kind]analysis.Summary, error) {
+	type span struct {
+		topo   grid.Topology
+		proto  sim.Protocol
+		lo, hi int
+	}
+	var jobs []sweep.Job
+	spans := make(map[grid.Kind]span, 4)
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		p := core.ForTopology(k)
+		lo := len(jobs)
+		jobs = append(jobs, sweep.SourceJobs(topo, p, cfg.simConfig())...)
+		spans[k] = span{topo: topo, proto: p, lo: lo, hi: len(jobs)}
+	}
+	outs, _ := sweep.New(cfg.Workers).Run(context.Background(), jobs)
 	out := make(map[grid.Kind]analysis.Summary, 4)
 	for _, k := range grid.Kinds() {
-		s, err := analysis.Sweep(grid.Canonical(k), core.ForTopology(k), cfg.simConfig())
+		sp := spans[k]
+		results := make([]*sim.Result, 0, sp.hi-sp.lo)
+		for _, o := range outs[sp.lo:sp.hi] {
+			if o.Err != nil {
+				return nil, fmt.Errorf("experiments: %v sweep: %w", k, o.Err)
+			}
+			results = append(results, o.Result)
+		}
+		s, err := analysis.Summarize(sp.topo, sp.proto, results)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %v sweep: %w", k, err)
 		}
@@ -121,6 +164,10 @@ func Table3(cfg Config) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return table3From(sums), nil
+}
+
+func table3From(sums map[grid.Kind]analysis.Summary) *table.Table {
 	t := &table.Table{
 		Title:   "Table 3. The performance of the broadcasting protocols (best case)",
 		Headers: []string{"Topology", "Tx", "Rx", "Power (J)", "paper Tx", "paper Rx", "paper Power"},
@@ -130,7 +177,7 @@ func Table3(cfg Config) (*table.Table, error) {
 		p := PaperTable3[k]
 		t.AddRow(k.String(), s.Best.Tx, s.Best.Rx, s.Best.EnergyJ, p.Tx, p.Rx, p.PowerJ)
 	}
-	return t, nil
+	return t
 }
 
 // Table4 regenerates Table 4: the worst case.
@@ -139,6 +186,10 @@ func Table4(cfg Config) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return table4From(sums), nil
+}
+
+func table4From(sums map[grid.Kind]analysis.Summary) *table.Table {
 	t := &table.Table{
 		Title:   "Table 4. The performance of the broadcasting protocols (worst case)",
 		Headers: []string{"Topology", "Tx", "Rx", "Power (J)", "paper Tx", "paper Rx", "paper Power"},
@@ -148,7 +199,7 @@ func Table4(cfg Config) (*table.Table, error) {
 		p := PaperTable4[k]
 		t.AddRow(k.String(), s.Worst.Tx, s.Worst.Rx, s.Worst.EnergyJ, p.Tx, p.Rx, p.PowerJ)
 	}
-	return t, nil
+	return t
 }
 
 // Table5 regenerates Table 5: the maximum delay times of the ideal
@@ -159,6 +210,10 @@ func Table5(cfg Config) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return table5From(cfg, sums), nil
+}
+
+func table5From(cfg Config, sums map[grid.Kind]analysis.Summary) *table.Table {
 	t := &table.Table{
 		Title:   "Table 5. The maximum delay times of the ideal case and the protocols",
 		Headers: []string{"Topology", "Ideal", "Ours", "paper (both)"},
@@ -167,24 +222,21 @@ func Table5(cfg Config) (*table.Table, error) {
 		ideal := core.IdealCase(grid.Canonical(k), cfg.Model, cfg.Packet)
 		t.AddRow(k.String(), ideal.MaxDelay, sums[k].MaxDelay, PaperTable5[k])
 	}
-	return t, nil
+	return t
 }
 
-// AllTables renders Tables 1-5 in order.
+// AllTables renders Tables 1-5 in order. The full source sweep behind
+// Tables 3-5 runs once and is shared by all three.
 func AllTables(cfg Config) ([]*table.Table, error) {
-	t3, err := Table3(cfg)
+	cfg = cfg.fill()
+	sums, err := sweepAll(cfg)
 	if err != nil {
 		return nil, err
 	}
-	t4, err := Table4(cfg)
-	if err != nil {
-		return nil, err
-	}
-	t5, err := Table5(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []*table.Table{Table1(), Table2(cfg), t3, t4, t5}, nil
+	return []*table.Table{
+		Table1(), Table2(cfg),
+		table3From(sums), table4From(sums), table5From(cfg, sums),
+	}, nil
 }
 
 // Figure renders figure n of the paper (1-9) as ASCII.

@@ -43,6 +43,41 @@ func TestFiguresGolden(t *testing.T) {
 	}
 }
 
+// Tables 3-5 are the sweep-backed tables: their golden files were
+// captured from the original serial sweep loop, and the test
+// regenerates them through the parallel sweep engine at several pool
+// sizes. Any byte of drift means the engine broke the parallel ==
+// serial contract (or an intended output change needs -update).
+func TestSweepTablesParallelGolden(t *testing.T) {
+	paths := []string{"table3", "table4", "table5"}
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			tabs, err := AllTables(Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, name := range paths {
+				got := tabs[2+i].String()
+				path := filepath.Join("testdata", name+".golden")
+				if *update && workers == 1 {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("%s at workers=%d differs from the serial golden:\n%s", name, workers, got)
+				}
+			}
+		})
+	}
+}
+
 // Table 1 and 2 are deterministic too; pin them.
 func TestTablesGolden(t *testing.T) {
 	for _, tc := range []struct {

@@ -22,9 +22,11 @@ race:
 	$(GO) test -race ./...
 
 # Sweep-engine scaling benchmarks (plus the per-table harness
-# benchmarks at the repo root).
+# benchmarks at the repo root) and the HTTP serving hot path (cold vs
+# cached on the 512-node canonical mesh).
 bench:
 	$(GO) test ./internal/sweep -bench=Sweep -benchtime=3x -run=^$$
+	$(GO) test ./internal/service -bench=Served -benchtime=100x -run=^$$
 
 vet:
 	$(GO) vet ./...

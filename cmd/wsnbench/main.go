@@ -35,6 +35,9 @@ func main() {
 }
 
 func run(tableN int, ablationsOnly, extensionsOnly, markdown bool, workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 means GOMAXPROCS)", workers)
+	}
 	cfg := experiments.Config{Workers: workers}
 	emit := func(t *table.Table) error {
 		if markdown {

@@ -88,3 +88,10 @@ func TestRunExtensionsOnly(t *testing.T) {
 		}
 	}
 }
+
+func TestRejectsNegativeWorkers(t *testing.T) {
+	err := run(1, false, false, false, -1)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("run(workers=-1) = %v, want -workers validation error", err)
+	}
+}

@@ -1,0 +1,143 @@
+// Command wsnserved serves the simulator over HTTP: single broadcasts,
+// full scenario documents and all-sources sweeps, with result caching,
+// admission control and metrics (internal/service).
+//
+// Endpoints (request bodies are internal/scenario JSON documents):
+//
+//	POST /v1/run       one broadcast (exactly one source)
+//	POST /v1/scenario  a full scenario document
+//	POST /v1/sweep     broadcast from every node (parallel sweep engine)
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      JSON counters: requests, cache, queue, latency
+//
+// Identical requests — byte-different encodings included — are served
+// from an LRU result cache, and concurrent identical requests cost one
+// simulation. When the bounded job queue is full the server sheds load
+// with 429 + Retry-After. A client may set a per-request deadline with
+// ?timeout_ms=. On SIGINT/SIGTERM the server drains gracefully: it
+// stops accepting work, finishes what was admitted (up to -drain) and
+// exits.
+//
+// Usage:
+//
+//	wsnserved                        # serve on :8080
+//	wsnserved -addr :9000 -workers 4 -queue 128
+//	wsnserved -cache-entries 4096 -cache-mb 128
+//	wsnserved -timeout 10s -max-nodes 65536 -quiet
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsnbcast/internal/service"
+)
+
+type options struct {
+	addr         string
+	workers      int
+	queue        int
+	cacheEntries int
+	cacheMB      int
+	timeout      time.Duration
+	maxTimeout   time.Duration
+	maxBodyKB    int
+	maxNodes     int
+	sweepWorkers int
+	drain        time.Duration
+	quiet        bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 64, "job queue capacity; a full queue sheds load with 429")
+	flag.IntVar(&o.cacheEntries, "cache-entries", 1024, "result cache entry bound (negative disables caching)")
+	flag.IntVar(&o.cacheMB, "cache-mb", 64, "result cache size bound in MiB")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "default per-request deadline")
+	flag.DurationVar(&o.maxTimeout, "max-timeout", 2*time.Minute, "largest deadline a client may request via ?timeout_ms=")
+	flag.IntVar(&o.maxBodyKB, "max-body-kb", 1024, "request body limit in KiB")
+	flag.IntVar(&o.maxNodes, "max-nodes", 1<<17, "largest mesh (in nodes) a request may ask for")
+	flag.IntVar(&o.sweepWorkers, "sweep-workers", 0, "per-request sweep engine pool size (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown budget after SIGTERM")
+	flag.BoolVar(&o.quiet, "quiet", false, "disable the access log")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, nil, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (the signal handler) or the
+// listener fails, then drains gracefully. A nil ln listens on
+// opts.addr; tests pass their own listener and cancel ctx instead of
+// sending signals.
+func run(ctx context.Context, o options, ln net.Listener, logw io.Writer) error {
+	if o.workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 means GOMAXPROCS)", o.workers)
+	}
+	if o.sweepWorkers < 0 {
+		return fmt.Errorf("invalid -sweep-workers %d: must be >= 0 (0 means GOMAXPROCS)", o.sweepWorkers)
+	}
+	var accessLog io.Writer
+	if !o.quiet {
+		accessLog = logw
+	}
+	svc := service.New(service.Config{
+		Workers:        o.workers,
+		QueueCap:       o.queue,
+		CacheEntries:   o.cacheEntries,
+		CacheBytes:     int64(o.cacheMB) << 20,
+		DefaultTimeout: o.timeout,
+		MaxTimeout:     o.maxTimeout,
+		MaxBodyBytes:   int64(o.maxBodyKB) << 10,
+		MaxNodes:       o.maxNodes,
+		SweepWorkers:   o.sweepWorkers,
+		AccessLog:      accessLog,
+	})
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", o.addr)
+		if err != nil {
+			return err
+		}
+	}
+	srv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(logw, "wsnserved: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections and let in-flight
+	// requests finish, then stop the job pool.
+	fmt.Fprintf(logw, "wsnserved: draining (budget %s)\n", o.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	shutErr := srv.Shutdown(dctx)
+	drainErr := svc.Drain(dctx)
+	if shutErr != nil {
+		return fmt.Errorf("shutdown: %w", shutErr)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintf(logw, "wsnserved: drained cleanly\n")
+	return nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func defaults() options {
+	return options{
+		addr:         "127.0.0.1:0",
+		queue:        64,
+		cacheEntries: 1024,
+		cacheMB:      64,
+		timeout:      30 * time.Second,
+		maxTimeout:   2 * time.Minute,
+		maxBodyKB:    1024,
+		maxNodes:     1 << 17,
+		drain:        5 * time.Second,
+	}
+}
+
+func TestRejectsNegativeWorkers(t *testing.T) {
+	o := defaults()
+	o.workers = -1
+	err := run(context.Background(), o, nil, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("err = %v, want -workers validation error", err)
+	}
+	o = defaults()
+	o.sweepWorkers = -2
+	err = run(context.Background(), o, nil, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-sweep-workers") {
+		t.Errorf("err = %v, want -sweep-workers validation error", err)
+	}
+}
+
+// TestServeAndGracefulShutdown exercises the binary end to end: serve
+// on a real socket, answer requests, then drain cleanly on the signal
+// context's cancellation (what SIGTERM triggers in main).
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var logBuf syncWriter
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, defaults(), ln, &logBuf) }()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+	var resp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = client.Get(base + "/healthz")
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("healthz never came up: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	doc := `{"topology": {"kind": "2d4", "m": 8, "n": 8}, "sources": [{"x": 3, "y": 3}]}`
+	for i, wantCache := range []string{"miss", "hit"} {
+		resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Cache"); got != wantCache {
+			t.Errorf("run %d: X-Cache = %q, want %q", i, got, wantCache)
+		}
+	}
+
+	cancel() // what SIGTERM does in main
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(logBuf.String(), "drained cleanly") {
+		t.Errorf("log = %q, want drain confirmation", logBuf.String())
+	}
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestAccessLogWiring(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var logBuf syncWriter
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, defaults(), ln, &logBuf) }()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logBuf.String(), `"path":"/healthz"`) {
+		t.Errorf("access log missing healthz entry:\n%s", logBuf.String())
+	}
+}
+
+// syncWriter serializes writes: run's log writer is shared between
+// the access log and the lifecycle messages.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}

@@ -120,6 +120,9 @@ func row(j sweep.Job, r *sim.Result) []string {
 }
 
 func run(topoName, protoName string, m, n, l, workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 means GOMAXPROCS)", workers)
+	}
 	js, err := jobs(topoName, protoName, m, n, l)
 	if err != nil {
 		return err

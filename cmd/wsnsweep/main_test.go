@@ -99,3 +99,10 @@ func TestKindsAndProtocolParsing(t *testing.T) {
 		t.Errorf("default protocol = %v, %v", p, err)
 	}
 }
+
+func TestRejectsNegativeWorkers(t *testing.T) {
+	err := run("2d4", "paper", 4, 4, 0, -1)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("run(workers=-1) = %v, want -workers validation error", err)
+	}
+}

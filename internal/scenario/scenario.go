@@ -5,12 +5,14 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"wsnbcast/internal/analysis"
 	"wsnbcast/internal/converge"
@@ -203,24 +205,133 @@ func (s Scenario) simConfig() (sim.Config, error) {
 	return cfg, nil
 }
 
-// Run executes the scenario.
-func (s Scenario) Run() (Report, error) {
-	rep := Report{Name: s.Name, Topology: strings.ToLower(s.Topology.Kind)}
+// Canonical returns the scenario in a normalized form: topology and
+// protocol names lowercased, defaulted fields made explicit (protocol
+// "paper", jitter window 8, z coordinates 1) and fields the selected
+// topology or protocol ignores zeroed. Two scenarios that are
+// byte-different on the wire but describe the same experiment
+// canonicalize to the same value, so the canonical JSON encoding is a
+// stable identity for result caching.
+func (s Scenario) Canonical() Scenario {
+	c := s
+	c.Topology.Kind = strings.ToLower(s.Topology.Kind)
+	c.Protocol = strings.ToLower(s.Protocol)
+	if c.Protocol == "" {
+		c.Protocol = "paper"
+	}
+	if c.Protocol == "flooding-jitter" {
+		if c.JitterSlots <= 0 {
+			c.JitterSlots = 8
+		}
+	} else {
+		c.JitterSlots = 0
+	}
+	switch c.Topology.Kind {
+	case "3d6":
+		if c.Topology.L < 1 {
+			c.Topology.L = 1
+		}
+		c.Topology.Jitter, c.Topology.Radius, c.Topology.Seed = 0, 0, 0
+	case "irregular":
+		c.Topology.L = 0
+	default:
+		c.Topology.L = 0
+		c.Topology.Jitter, c.Topology.Radius, c.Topology.Seed = 0, 0, 0
+	}
+	pkt := radio.CanonicalPacket()
+	if c.PacketBits == pkt.Bits {
+		c.PacketBits = 0
+	}
+	if c.SpacingM == pkt.NeighborDistM {
+		c.SpacingM = 0
+	}
+	c.Sources = canonicalPoints(s.Sources)
+	c.Down = canonicalPoints(s.Down)
+	if s.Pipeline != nil {
+		p := *s.Pipeline
+		if p.Interval < 0 {
+			p.Interval = 0
+		}
+		c.Pipeline = &p
+	}
+	return c
+}
+
+func canonicalPoints(ps []Point) []Point {
+	if ps == nil {
+		return nil
+	}
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		if p.Z == 0 {
+			p.Z = 1
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Compile validates the scenario and builds its topology, protocol and
+// simulation config without running anything. Beyond what Run would
+// reject lazily, it checks that every source and down node lies inside
+// the mesh and that a pipeline request asks for at least one packet,
+// so a caller (the HTTP service) can refuse a bad document before
+// committing worker time to it.
+func (s Scenario) Compile() (grid.Topology, sim.Protocol, sim.Config, error) {
 	topo, err := s.topology()
 	if err != nil {
-		return rep, err
+		return nil, nil, sim.Config{}, err
 	}
 	p, err := s.protocol(topo)
+	if err != nil {
+		return nil, nil, sim.Config{}, err
+	}
+	cfg, err := s.simConfig()
+	if err != nil {
+		return nil, nil, sim.Config{}, err
+	}
+	for _, src := range s.Sources {
+		if !topo.Contains(src.coord()) {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: source %s outside the %s mesh", src.coord(), topo.Kind())
+		}
+	}
+	for _, d := range cfg.Down {
+		if !topo.Contains(d) {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: down node %s outside the %s mesh", d, topo.Kind())
+		}
+	}
+	if s.Pipeline != nil && s.Pipeline.Packets < 1 {
+		return nil, nil, sim.Config{}, fmt.Errorf("scenario: pipeline needs packets >= 1")
+	}
+	return topo, p, cfg, nil
+}
+
+// Validate checks the scenario without running it.
+func (s Scenario) Validate() error {
+	_, _, _, err := s.Compile()
+	return err
+}
+
+// Run executes the scenario.
+func (s Scenario) Run() (Report, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the scenario, checking ctx between broadcasts
+// and between phases: once cancelled, it returns the context's error
+// promptly without starting further simulations.
+func (s Scenario) RunContext(ctx context.Context) (Report, error) {
+	rep := Report{Name: s.Name, Topology: strings.ToLower(s.Topology.Kind)}
+	topo, p, cfg, err := s.Compile()
 	if err != nil {
 		return rep, err
 	}
 	rep.Protocol = p.Name()
-	cfg, err := s.simConfig()
-	if err != nil {
-		return rep, err
-	}
 
 	if len(s.Sources) == 0 {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		sum, err := analysis.Sweep(topo, p, cfg)
 		if err != nil {
 			return rep, err
@@ -232,6 +343,9 @@ func (s Scenario) Run() (Report, error) {
 	}
 
 	for _, src := range s.Sources {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		r, err := sim.Run(topo, p, src.coord(), cfg)
 		if err != nil {
 			return rep, err
@@ -244,6 +358,9 @@ func (s Scenario) Run() (Report, error) {
 	first := s.Sources[0].coord()
 
 	if s.Pipeline != nil {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		interval := s.Pipeline.Interval
 		if interval <= 0 {
 			interval, err = pipeline.SafeInterval(topo, p, first, 4, 8*topo.NumNodes())
@@ -267,6 +384,9 @@ func (s Scenario) Run() (Report, error) {
 	}
 
 	if s.BudgetJ > 0 {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		life, err := analysis.Lifetime(topo, p, first, cfg, s.BudgetJ)
 		if err != nil {
 			return rep, err
@@ -276,6 +396,9 @@ func (s Scenario) Run() (Report, error) {
 	}
 
 	if s.Convergecast {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		cc, err := converge.Run(topo, first, converge.Config{})
 		if err != nil {
 			return rep, err
@@ -322,6 +445,17 @@ func LoadAll(r io.Reader) ([]Scenario, error) {
 // RunAll executes scenarios in parallel (bounded by GOMAXPROCS) and
 // returns the reports in input order; the first error aborts.
 func RunAll(scenarios []Scenario) ([]Report, error) {
+	return RunAllContext(context.Background(), scenarios)
+}
+
+// RunAllContext is RunAll under a context: scenarios run in parallel
+// (bounded by GOMAXPROCS) and the reports come back in input order.
+// When ctx is cancelled mid-batch the call returns promptly — no new
+// scenario starts and running ones stop at their next checkpoint —
+// with the reports completed so far (index-aligned; unrun slots are
+// zero) and an error stating how many of the scenarios finished,
+// wrapping the context's error.
+func RunAllContext(ctx context.Context, scenarios []Scenario) ([]Report, error) {
 	reports := make([]Report, len(scenarios))
 	errs := make([]error, len(scenarios))
 	workers := runtime.GOMAXPROCS(0)
@@ -331,6 +465,7 @@ func RunAll(scenarios []Scenario) ([]Report, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -338,15 +473,31 @@ func RunAll(scenarios []Scenario) ([]Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				reports[i], errs[i] = scenarios[i].Run()
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				reports[i], errs[i] = scenarios[i].RunContext(ctx)
+				if errs[i] == nil {
+					completed.Add(1)
+				}
 			}
 		}()
 	}
+feed:
 	for i := range scenarios {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return reports, fmt.Errorf("scenario: cancelled after %d/%d scenarios: %w",
+			completed.Load(), len(scenarios), err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("scenario %d (%q): %w", i, scenarios[i].Name, err)

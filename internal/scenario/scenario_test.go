@@ -1,9 +1,12 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func load(t *testing.T, doc string) Scenario {
@@ -231,5 +234,125 @@ func TestRunAllPropagatesError(t *testing.T) {
 	}
 	if _, err := RunAll(list); err == nil || !strings.Contains(err.Error(), "bad") {
 		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestCanonicalIdentity(t *testing.T) {
+	// Byte-different documents describing the same experiment must
+	// canonicalize to identical values (and hence identical JSON).
+	a := load(t, `{
+		"topology": {"kind": "2D4", "m": 6, "n": 4, "l": 3},
+		"jitter_slots": 5,
+		"sources": [{"x": 1, "y": 2}]
+	}`)
+	b := load(t, `{
+		"sources": [{"x": 1, "y": 2, "z": 1}],
+		"protocol": "PAPER",
+		"packet_bits": 512,
+		"spacing_m": 0.5,
+		"topology": {"kind": "2d4", "n": 4, "m": 6, "seed": 7}
+	}`)
+	ja, err := json.Marshal(a.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Errorf("canonical forms differ:\n%s\n%s", ja, jb)
+	}
+	// A genuinely different experiment must not collapse.
+	c := load(t, `{"topology": {"kind": "2d4", "m": 6, "n": 4}, "sources": [{"x": 2, "y": 2}]}`)
+	jc, _ := json.Marshal(c.Canonical())
+	if string(jc) == string(ja) {
+		t.Error("different sources canonicalized to the same form")
+	}
+}
+
+func TestCanonicalDefaults(t *testing.T) {
+	s := load(t, `{"topology": {"kind": "3d6", "m": 4, "n": 4}, "protocol": "flooding-jitter"}`)
+	c := s.Canonical()
+	if c.Topology.L != 1 {
+		t.Errorf("3d6 L = %d, want 1", c.Topology.L)
+	}
+	if c.JitterSlots != 8 {
+		t.Errorf("jitter slots = %d, want 8", c.JitterSlots)
+	}
+	if c.Protocol != "flooding-jitter" {
+		t.Errorf("protocol = %q", c.Protocol)
+	}
+}
+
+func TestCompileRejectsOutsideSource(t *testing.T) {
+	s := load(t, `{"topology": {"kind": "2d4", "m": 4, "n": 4}, "sources": [{"x": 9, "y": 0}]}`)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("err = %v, want outside-mesh error", err)
+	}
+	s = load(t, `{"topology": {"kind": "2d4", "m": 4, "n": 4}, "down": [{"x": 0, "y": 9}]}`)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("err = %v, want outside-mesh error", err)
+	}
+	s = load(t, `{"topology": {"kind": "2d4", "m": 4, "n": 4}, "sources": [{"x": 1, "y": 1}], "pipeline": {"packets": 0}}`)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "packets") {
+		t.Errorf("err = %v, want pipeline-packets error", err)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := load(t, `{"topology": {"kind": "2d4", "m": 8, "n": 8}, "sources": [{"x": 1, "y": 1}]}`)
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAllContextCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scenarios := []Scenario{
+		load(t, `{"topology": {"kind": "2d4", "m": 4, "n": 4}, "sources": [{"x": 1, "y": 1}]}`),
+		load(t, `{"topology": {"kind": "2d3", "m": 4, "n": 4}, "sources": [{"x": 1, "y": 1}]}`),
+	}
+	reports, err := RunAllContext(ctx, scenarios)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled after 0/2") {
+		t.Errorf("err = %v, want partial-results message", err)
+	}
+	if len(reports) != 2 {
+		t.Errorf("reports = %d, want index-aligned slice", len(reports))
+	}
+}
+
+func TestRunAllContextCancelMidBatch(t *testing.T) {
+	// A batch far too heavy to finish inside the deadline — each
+	// scenario is a full 512-source sweep: the call must come back
+	// promptly with a partial-results error rather than grinding
+	// through all 256 sweeps.
+	doc := `{"topology": {"kind": "2d8", "m": 32, "n": 16}}`
+	scenarios := make([]Scenario, 256)
+	for i := range scenarios {
+		scenarios[i] = load(t, doc)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	reports, err := RunAllContext(ctx, scenarios)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled after") {
+		t.Errorf("err = %v, want cancelled-after message", err)
+	}
+	if len(reports) != 256 {
+		t.Errorf("reports = %d, want index-aligned slice", len(reports))
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
 	}
 }

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The serving hot path on the paper's canonical 512-node mesh
+// (2d4, 32x16): Cold measures full simulations (cache disabled,
+// sources cycle over the mesh), Cached measures the cache hit path a
+// warm service spends nearly all of its time in. The gap between the
+// two is the cache's leverage; EXPERIMENTS.md tracks both.
+
+func servedRun(b *testing.B, srv *Server, doc string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(doc))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+}
+
+func BenchmarkServedRunCold(b *testing.B) {
+	srv := New(Config{CacheEntries: -1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x, y := 1+i%32, 1+(i/32)%16
+		servedRun(b, srv, fmt.Sprintf(
+			`{"topology": {"kind": "2d4", "m": 32, "n": 16}, "sources": [{"x": %d, "y": %d}]}`, x, y))
+	}
+}
+
+func BenchmarkServedRunCached(b *testing.B) {
+	srv := New(Config{})
+	doc := `{"topology": {"kind": "2d4", "m": 32, "n": 16}, "sources": [{"x": 16, "y": 8}]}`
+	servedRun(b, srv, doc) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servedRun(b, srv, doc)
+	}
+}
+
+func BenchmarkServedSweepCold(b *testing.B) {
+	srv := New(Config{CacheEntries: -1})
+	doc := `{"topology": {"kind": "2d4", "m": 32, "n": 16}}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(doc))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status = %d", w.Code)
+		}
+	}
+}
+
+func BenchmarkServedSweepCached(b *testing.B) {
+	srv := New(Config{})
+	doc := `{"topology": {"kind": "2d4", "m": 32, "n": 16}}`
+	req := func() {
+		r := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(doc))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status = %d", w.Code)
+		}
+	}
+	req() // warm: one full 512-source sweep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req()
+	}
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a size-bounded LRU over canonical-request keys. It stores
+// fully rendered response bodies, so a hit is a pure byte copy: no
+// JSON encoding, no simulation. Both bounds apply together — entry
+// count and total body bytes — and eviction is strictly
+// least-recently-used (Get refreshes recency). A cache constructed
+// with maxEntries <= 0 is disabled: every Get misses, every Put is
+// dropped.
+//
+// Stored bodies are shared, not copied; callers must treat them as
+// immutable.
+type cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newCache(maxEntries int, maxBytes int64) *cache {
+	c := &cache{maxEntries: maxEntries, maxBytes: maxBytes}
+	if maxEntries > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// Get returns the cached body for key, refreshing its recency.
+func (c *cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key and evicts from the LRU tail until both
+// bounds hold again. The entry just inserted is never evicted, so a
+// single body larger than maxBytes still serves its own request's
+// followers until something replaces it.
+func (c *cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		el = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.items[key] = el
+		c.bytes += int64(len(body))
+	}
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		back := c.ll.Back()
+		if back == nil || back == c.ll.Front() {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// Bytes returns the total size of the cached bodies.
+func (c *cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

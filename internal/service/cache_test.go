@@ -1,0 +1,91 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheEntryBound(t *testing.T) {
+	c := newCache(3, 0)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Oldest two evicted, newest three present.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing", i)
+		}
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := newCache(2, 0)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("3")) // must evict b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived, want it evicted (a was touched)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted, want it kept (recently used)")
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newCache(100, 10)
+	c.Put("a", []byte("12345"))
+	c.Put("b", []byte("12345"))
+	c.Put("c", []byte("12345")) // 15 bytes total: a must go
+	if c.Bytes() > 10 {
+		t.Errorf("bytes = %d, want <= 10", c.Bytes())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived the byte bound")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	// A single body over the bound is kept (never evict the entry
+	// just inserted) until something replaces it.
+	c.Put("huge", make([]byte, 64))
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("oversized single entry dropped, want kept")
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newCache(4, 0)
+	c.Put("a", []byte("11"))
+	c.Put("a", []byte("2222"))
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+	if c.Bytes() != 4 {
+		t.Errorf("bytes = %d, want 4", c.Bytes())
+	}
+	if body, _ := c.Get("a"); string(body) != "2222" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(-1, 0)
+	c.Put("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("disabled cache reports len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical work: the first caller
+// for a key becomes the leader and executes fn; every caller that
+// arrives for the same key while the leader is in flight waits for
+// the leader's outcome instead of executing again. Combined with the
+// result cache this guarantees a burst of identical requests costs
+// exactly one simulation — the leader's — no matter how many clients
+// ask at once.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when body/err are final
+	body []byte
+	err  error
+}
+
+// Do runs fn once per concurrent key. joined reports whether this
+// caller waited on another caller's execution rather than running fn
+// itself. A joined waiter whose ctx expires abandons the wait with the
+// context's error; the leader keeps running and its result still
+// serves the remaining waiters (and the cache).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, joined bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.body, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, false, c.err
+}

@@ -1,0 +1,469 @@
+// Package service is the HTTP serving layer over the simulator: a
+// deterministic-simulation service with result caching, admission
+// control and metrics, built to serve many clients from one process.
+//
+// Three POST endpoints accept the declarative scenario JSON of
+// internal/scenario as their wire format:
+//
+//   - /v1/run — a single broadcast (exactly one source)
+//   - /v1/scenario — a full scenario document (pipelining, failures,
+//     lifetime, convergecast)
+//   - /v1/sweep — an all-sources sweep on the parallel sweep engine,
+//     one row per source plus the paper's best/worst/max-delay summary
+//
+// Because every simulation is a pure function of its canonicalized
+// request, responses are perfectly cacheable: requests are normalized
+// (scenario.Canonical) and hashed, byte-different but semantically
+// identical documents map to one cache key, and a size-bounded LRU
+// serves repeats without simulating. Concurrent identical requests are
+// deduplicated in flight — a burst of N equal requests costs exactly
+// one execution. Admission control bounds the work accepted: jobs run
+// on a fixed worker pool behind a bounded queue, a full queue sheds
+// load with 429 + Retry-After, request deadlines propagate through
+// context into the simulation layers, and Drain stops admission and
+// waits for in-flight work during graceful shutdown. /healthz and
+// /metrics expose liveness and the counters in metrics.go; every
+// request is access-logged as one JSON line.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsnbcast/internal/scenario"
+	"wsnbcast/internal/sweep"
+)
+
+// Config sizes the service; zero values mean the stated defaults.
+type Config struct {
+	// Workers is the simulation worker pool size (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueCap is the bounded job queue in front of the pool; a job
+	// arriving to a full queue is shed with 429. 0 means 64; negative
+	// means no queue (admit only onto an idle worker).
+	QueueCap int
+	// CacheEntries bounds the result cache (0: 1024; negative:
+	// caching disabled). CacheBytes bounds the cached body bytes
+	// (<= 0: 64 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// DefaultTimeout is the per-request deadline when the client sets
+	// none (0: 30s); a client may lower or raise it with ?timeout_ms=
+	// up to MaxTimeout (0: 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes caps the request body (<= 0: 1 MiB) and MaxNodes
+	// caps the requested mesh size (<= 0: 131072 nodes); both reject
+	// with 413.
+	MaxBodyBytes int64
+	MaxNodes     int
+	// SweepWorkers sizes the per-request sweep engine of /v1/sweep
+	// (<= 0: GOMAXPROCS).
+	SweepWorkers int
+	// AccessLog, when non-nil, receives one JSON line per request.
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 17
+	}
+	return c
+}
+
+// Server is the HTTP simulation service. Construct with New; it
+// implements http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *cache
+	flight   flightGroup
+	pool     *pool
+	metrics  *metrics
+	draining atomic.Bool
+	logMu    sync.Mutex
+
+	// hookBeforeJob, when non-nil, runs inside the worker at the start
+	// of every admitted job. Tests use it to hold jobs in flight.
+	hookBeforeJob func()
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newCache(cfg.CacheEntries, cfg.CacheBytes),
+		pool:    newPool(cfg.Workers, cfg.QueueCap),
+		metrics: newMetrics(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleSim("run", prepRun, s.execScenario))
+	s.mux.HandleFunc("POST /v1/scenario", s.handleSim("scenario", prepScenario, s.execScenario))
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSim("sweep", prepSweep, s.execSweep))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Drain stops admitting jobs, marks the server unhealthy — subsequent
+// simulation requests answer 503, /healthz reports draining — and
+// waits for every admitted job to finish or for ctx to expire. Call
+// it during graceful shutdown, after http.Server.Shutdown has stopped
+// accepting connections. Once /healthz reports draining, admission is
+// guaranteed closed.
+func (s *Server) Drain(ctx context.Context) error {
+	s.pool.CloseAdmission()
+	s.draining.Store(true)
+	return s.pool.AwaitIdle(ctx)
+}
+
+// ServeHTTP dispatches to the endpoint handlers, wrapped in the
+// in-flight gauge, the per-endpoint request counters, the latency
+// histogram and the access log.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.inFlight.Add(1)
+	rec := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.metrics.inFlight.Add(-1)
+	elapsed := time.Since(start)
+	s.metrics.ObserveRequest(endpointLabel(r.URL.Path), rec.status, elapsed)
+	s.logAccess(r, rec, elapsed)
+}
+
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/run":
+		return "run"
+	case "/v1/scenario":
+		return "scenario"
+	case "/v1/sweep":
+		return "sweep"
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+// responseRecorder captures the status and body size for metrics and
+// the access log.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+func (s *Server) logAccess(r *http.Request, rec *responseRecorder, elapsed time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(struct {
+		Time   string  `json:"time"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		DurMs  float64 `json:"dur_ms"`
+		Bytes  int     `json:"bytes"`
+		Cache  string  `json:"cache,omitempty"`
+	}{
+		Time:   time.Now().UTC().Format(time.RFC3339Nano),
+		Method: r.Method,
+		Path:   r.URL.Path,
+		Status: rec.status,
+		DurMs:  float64(elapsed.Microseconds()) / 1000,
+		Bytes:  rec.bytes,
+		Cache:  rec.Header().Get("X-Cache"),
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}
+
+// prep functions enforce each endpoint's request shape on the
+// canonicalized scenario before any simulation work is admitted.
+func prepRun(sc scenario.Scenario) error {
+	if len(sc.Sources) != 1 {
+		return fmt.Errorf("POST /v1/run needs exactly one source (got %d); use /v1/sweep for all-sources sweeps", len(sc.Sources))
+	}
+	if sc.Pipeline != nil || sc.BudgetJ > 0 || sc.Convergecast {
+		return errors.New("POST /v1/run is a single broadcast; use /v1/scenario for pipeline, budget or convergecast runs")
+	}
+	return nil
+}
+
+func prepScenario(scenario.Scenario) error { return nil }
+
+func prepSweep(sc scenario.Scenario) error {
+	if len(sc.Sources) != 0 {
+		return fmt.Errorf("POST /v1/sweep broadcasts from every node; drop the %d explicit sources or use /v1/run", len(sc.Sources))
+	}
+	if sc.Pipeline != nil || sc.BudgetJ > 0 || sc.Convergecast {
+		return errors.New("POST /v1/sweep is a plain all-sources sweep; use /v1/scenario for pipeline, budget or convergecast runs")
+	}
+	return nil
+}
+
+// handleSim is the shared request path of the three simulation
+// endpoints: decode and canonicalize, validate, consult the cache,
+// deduplicate in flight, admit to the pool, execute, cache, respond.
+func (s *Server) handleSim(endpoint string, prep func(scenario.Scenario) error, exec func(ctx context.Context, sc scenario.Scenario) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		sc, err := scenario.Load(r.Body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.fail(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+				return
+			}
+			s.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sc = sc.Canonical()
+		if err := prep(sc); err != nil {
+			s.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		topo, _, _, err := sc.Compile()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if n := topo.NumNodes(); n > s.cfg.MaxNodes {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("mesh too large: %d nodes (limit %d)", n, s.cfg.MaxNodes))
+			return
+		}
+		timeout, err := s.requestTimeout(r)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+
+		key, err := requestKey(endpoint, sc)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if body, ok := s.cache.Get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			s.writeBody(w, "hit", body)
+			return
+		}
+		s.metrics.cacheMisses.Add(1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		body, joined, err := s.flight.Do(ctx, key, func() ([]byte, error) {
+			// Re-check the cache as the flight leader: a request that
+			// missed the cache just before a previous leader for the
+			// same key stored its result must not simulate again.
+			if body, ok := s.cache.Get(key); ok {
+				return body, nil
+			}
+			return s.pool.Do(ctx, func(ctx context.Context) ([]byte, error) {
+				if s.hookBeforeJob != nil {
+					s.hookBeforeJob()
+				}
+				s.metrics.executions.Add(1)
+				v, err := exec(ctx, sc)
+				if err != nil {
+					return nil, err
+				}
+				b, err := json.MarshalIndent(v, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				return append(b, '\n'), nil
+			})
+		})
+		if err != nil {
+			s.failJob(w, err)
+			return
+		}
+		if !joined {
+			s.cache.Put(key, body)
+		}
+		s.writeBody(w, "miss", body)
+	}
+}
+
+// requestTimeout resolves the per-request deadline: ?timeout_ms=
+// overrides the default, clamped to MaxTimeout.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			return 0, fmt.Errorf("invalid timeout_ms %q: need a positive integer", v)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// requestKey is the cache/singleflight identity of a canonicalized
+// request: the endpoint (the three endpoints answer different shapes)
+// plus the SHA-256 of the canonical JSON encoding.
+func requestKey(endpoint string, sc scenario.Scenario) (string, error) {
+	b, err := json.Marshal(sc)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return endpoint + ":" + hex.EncodeToString(sum[:]), nil
+}
+
+// execScenario runs /v1/run and /v1/scenario bodies; the shape checks
+// in prepRun make the former a single sim.Run.
+func (s *Server) execScenario(ctx context.Context, sc scenario.Scenario) (any, error) {
+	rep, err := sc.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// execSweep broadcasts from every node on the parallel sweep engine
+// and reports one row per source plus the paper's summary statistics.
+// The request context propagates into the engine, so an expired
+// deadline stops the sweep between jobs.
+func (s *Server) execSweep(ctx context.Context, sc scenario.Scenario) (any, error) {
+	topo, p, cfg, err := sc.Compile()
+	if err != nil {
+		return nil, err
+	}
+	eng := sweep.New(s.cfg.SweepWorkers).WithGauge(s.metrics.SweepGauge())
+	results, err := eng.SweepSources(ctx, topo, p, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := scenario.Report{Name: sc.Name, Topology: sc.Topology.Kind, Protocol: p.Name()}
+	rep.Runs = make([]scenario.RunReport, len(results))
+	for i, r := range results {
+		src := topo.At(i)
+		rep.Runs[i] = scenario.RunReport{
+			Source: scenario.Point{X: src.X, Y: src.Y, Z: src.Z},
+			Tx:     r.Tx, Rx: r.Rx, EnergyJ: r.EnergyJ, Delay: r.Delay,
+			Reached: r.Reached, Total: r.Total, Collisions: r.Collisions, Repairs: r.Repairs,
+		}
+		if i == 0 || r.EnergyJ < rep.BestEnergyJ {
+			rep.BestEnergyJ = r.EnergyJ
+		}
+		if i == 0 || r.EnergyJ > rep.WorstEnergyJ {
+			rep.WorstEnergyJ = r.EnergyJ
+		}
+		if r.Delay > rep.MaxDelay {
+			rep.MaxDelay = r.Delay
+		}
+	}
+	return rep, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.QueueDepth = s.pool.QueueDepth()
+	snap.CacheEntries = s.cache.Len()
+	snap.CacheBytes = s.cache.Bytes()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, cacheState string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// failJob maps an admission or execution failure to its HTTP status:
+// shed load answers 429 with a Retry-After hint, a draining server
+// 503, an expired deadline 504; anything else is a genuine execution
+// failure, 500.
+func (s *Server) failJob(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "server overloaded: job queue full")
+	case errors.Is(err, errDraining):
+		s.fail(w, http.StatusServiceUnavailable, "server draining")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusGatewayTimeout, "request cancelled")
+	default:
+		s.fail(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	w.Write(append(body, '\n'))
+}

@@ -76,11 +76,22 @@ type Outcome struct {
 	Err error
 }
 
+// Gauge receives pending-job deltas from the engine, for queue-depth
+// introspection by a serving layer: Run adds the batch size when it
+// starts and subtracts one as each job finishes (or is abandoned by
+// cancellation), so a gauge shared across engines reads the total
+// number of simulation jobs currently queued or running. Add must be
+// safe for concurrent use; *sync/atomic.Int64 satisfies the interface.
+type Gauge interface {
+	Add(delta int64)
+}
+
 // Engine is a bounded worker pool. The zero value runs with
 // GOMAXPROCS workers; construct with New to bound it differently.
 // Engines are stateless and safe for concurrent use.
 type Engine struct {
 	workers int
+	gauge   Gauge
 }
 
 // New returns an engine with the given pool size; workers <= 0 means
@@ -91,6 +102,14 @@ func New(workers int) Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return Engine{workers: workers}
+}
+
+// WithGauge returns a copy of the engine that reports pending-job
+// counts to g. Every Run nets to zero on g: whatever it adds up front
+// it subtracts by the time it returns, cancelled or not.
+func (e Engine) WithGauge(g Gauge) Engine {
+	e.gauge = g
+	return e
 }
 
 // Workers returns the effective pool size.
@@ -119,6 +138,9 @@ func (e Engine) Run(ctx context.Context, jobs []Job) ([]Outcome, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	if e.gauge != nil {
+		e.gauge.Add(int64(len(jobs)))
+	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -139,6 +161,9 @@ func (e Engine) Run(ctx context.Context, jobs []Job) ([]Outcome, error) {
 				}
 				j := jobs[i]
 				outs[i].Result, outs[i].Err = sim.Run(j.Topology, j.Protocol, j.Source, j.Config)
+				if e.gauge != nil {
+					e.gauge.Add(-1)
+				}
 			}
 		}()
 	}
@@ -148,6 +173,9 @@ func (e Engine) Run(ctx context.Context, jobs []Job) ([]Outcome, error) {
 		for i := range outs {
 			if outs[i].Result == nil && outs[i].Err == nil {
 				outs[i].Err = err
+				if e.gauge != nil {
+					e.gauge.Add(-1)
+				}
 			}
 		}
 		return outs, err

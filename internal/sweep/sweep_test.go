@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -240,5 +241,74 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 				t.Errorf("workers=%d: job %d result differs from workers=1", workers, i)
 			}
 		}
+	}
+}
+
+// TestNewNegativeWorkers pins the contract the CLIs rely on: New
+// treats every non-positive pool size, -1 included, as "use
+// GOMAXPROCS" — it never constructs a zero- or negative-width pool.
+// The commands reject negative -workers flags before reaching New, so
+// this is the behavior for any library caller that slips one through.
+func TestNewNegativeWorkers(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	if w := sweep.New(-1).Workers(); w != want {
+		t.Errorf("New(-1).Workers() = %d, want GOMAXPROCS (%d)", w, want)
+	}
+	topo := grid.NewMesh2D4(4, 4)
+	outs, err := sweep.New(-1).Run(context.Background(),
+		sweep.SourceJobs(topo, core.NewFlooding(), sim.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.Err != nil || o.Result == nil {
+			t.Fatalf("job %d: result=%v err=%v", i, o.Result, o.Err)
+		}
+	}
+}
+
+// trackingGauge records the highest pending count it ever saw.
+type trackingGauge struct {
+	mu      sync.Mutex
+	current int64
+	peak    int64
+}
+
+func (g *trackingGauge) Add(delta int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.current += delta
+	if g.current > g.peak {
+		g.peak = g.current
+	}
+}
+
+func TestGaugeNetsToZero(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 4)
+	var g trackingGauge
+	eng := sweep.New(2).WithGauge(&g)
+	if _, err := eng.Run(context.Background(),
+		sweep.SourceJobs(topo, core.NewFlooding(), sim.Config{})); err != nil {
+		t.Fatal(err)
+	}
+	if g.current != 0 {
+		t.Errorf("gauge = %d after Run, want 0", g.current)
+	}
+	if g.peak != int64(topo.NumNodes()) {
+		t.Errorf("gauge peak = %d, want %d", g.peak, topo.NumNodes())
+	}
+}
+
+func TestGaugeNetsToZeroOnCancel(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var g trackingGauge
+	eng := sweep.New(2).WithGauge(&g)
+	if _, err := eng.Run(ctx, sweep.SourceJobs(topo, core.NewFlooding(), sim.Config{})); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g.current != 0 {
+		t.Errorf("gauge = %d after cancelled Run, want 0", g.current)
 	}
 }

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet verify golden
+.PHONY: all build test race bench vet verify golden cover
 
 all: verify
 
@@ -32,6 +32,12 @@ vet:
 	$(GO) vet ./...
 
 verify: build vet test race
+
+# Coverage profile over the whole module; CI uploads coverage.out as
+# an artifact. Atomic mode so the profile is also valid under -race.
+cover:
+	$(GO) test ./... -covermode=atomic -coverprofile=coverage.out
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Regenerate the golden files after an intended output change.
 golden:

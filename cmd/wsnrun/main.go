@@ -1,11 +1,17 @@
 // Command wsnrun executes a declarative JSON scenario and prints a
 // JSON report: topology, protocol, sources, failures, pipelining,
-// lifetime budget and convergecast, all in one document.
+// lifetime budget, convergecast and Monte Carlo reliability studies,
+// all in one document.
 //
 // Usage:
 //
-//	wsnrun scenario.json     # one scenario object, or a JSON array of them
-//	wsnrun -                 # read from stdin; arrays run in parallel
+//	wsnrun scenario.json              # one scenario object, or a JSON array of them
+//	wsnrun -                          # read from stdin; arrays run in parallel
+//	wsnrun -seed 7 -replications 200 scenario.json
+//
+// -seed and -replications override the corresponding fields of the
+// scenario's "reliability" section, so one document can be re-run
+// under different seeds or replication counts without editing it.
 //
 // Example scenario:
 //
@@ -13,13 +19,12 @@
 //	  "name": "field-study",
 //	  "topology": {"kind": "2d4", "m": 32, "n": 16},
 //	  "sources": [{"x": 16, "y": 8}],
-//	  "pipeline": {"packets": 10},
-//	  "budget_j": 2.0,
-//	  "convergecast": true
+//	  "reliability": {"replications": 100, "loss_rates": [0, 0.1]}
 //	}
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -27,18 +32,47 @@ import (
 	"wsnbcast/internal/scenario"
 )
 
+// overrides carries the -seed/-replications flag values; the set bits
+// record whether the user passed the flag at all, since zero is a
+// meaningful seed.
+type overrides struct {
+	seed         uint64
+	seedSet      bool
+	replications int
+	repsSet      bool
+}
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: wsnrun <scenario.json | ->")
+	var o overrides
+	flag.Uint64Var(&o.seed, "seed", 0, "override the reliability study seed")
+	flag.IntVar(&o.replications, "replications", 0, "override the reliability replication count (>= 1)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: wsnrun [flags] <scenario.json | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			o.seedSet = true
+		case "replications":
+			o.repsSet = true
+		}
+	})
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Args[1], os.Stdin, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), o, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wsnrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, stdin io.Reader, stdout io.Writer) error {
+func run(path string, o overrides, stdin io.Reader, stdout io.Writer) error {
+	if o.repsSet && o.replications < 1 {
+		return fmt.Errorf("invalid -replications %d: must be >= 1", o.replications)
+	}
 	var in io.Reader
 	if path == "-" {
 		in = stdin
@@ -53,6 +87,21 @@ func run(path string, stdin io.Reader, stdout io.Writer) error {
 	scenarios, err := scenario.LoadAll(in)
 	if err != nil {
 		return err
+	}
+	if o.seedSet || o.repsSet {
+		for i := range scenarios {
+			rel := scenarios[i].Reliability
+			if rel == nil {
+				return fmt.Errorf("scenario %q has no reliability section to apply -seed/-replications to",
+					scenarios[i].Name)
+			}
+			if o.seedSet {
+				rel.Seed = o.seed
+			}
+			if o.repsSet {
+				rel.Replications = o.replications
+			}
+		}
 	}
 	reports, err := scenario.RunAll(scenarios)
 	if err != nil {

@@ -13,9 +13,17 @@ const doc = `{
   "sources": [{"x": 4, "y": 3}]
 }`
 
+const relDoc = `{
+  "name": "rel",
+  "topology": {"kind": "2d4", "m": 8, "n": 6},
+  "sources": [{"x": 4, "y": 3}],
+  "disable_repair": true,
+  "reliability": {"seed": 1, "replications": 4, "loss_rates": [0, 0.1]}
+}`
+
 func TestRunFromStdin(t *testing.T) {
 	var out strings.Builder
-	if err := run("-", strings.NewReader(doc), &out); err != nil {
+	if err := run("-", overrides{}, strings.NewReader(doc), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"reached": 48`) {
@@ -29,7 +37,7 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(p, nil, &out); err != nil {
+	if err := run(p, overrides{}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"name": "t"`) {
@@ -39,14 +47,62 @@ func TestRunFromFile(t *testing.T) {
 
 func TestRunMissingFile(t *testing.T) {
 	var out strings.Builder
-	if err := run("/no/such/file.json", nil, &out); err == nil {
+	if err := run("/no/such/file.json", overrides{}, nil, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestRunBadScenario(t *testing.T) {
 	var out strings.Builder
-	if err := run("-", strings.NewReader(`{"topology":{"kind":"hex","m":2,"n":2}}`), &out); err == nil {
+	if err := run("-", overrides{}, strings.NewReader(`{"topology":{"kind":"hex","m":2,"n":2}}`), &out); err == nil {
 		t.Error("bad scenario accepted")
+	}
+}
+
+func TestRunReliabilityScenario(t *testing.T) {
+	var out strings.Builder
+	if err := run("-", overrides{}, strings.NewReader(relDoc), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"reliability"`, `"loss_rate": 0.1`, `"reliability_seed": 1`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+// -seed and -replications override the document's reliability section,
+// and the override must show up in the report.
+func TestSeedAndReplicationsOverride(t *testing.T) {
+	var out strings.Builder
+	o := overrides{seed: 99, seedSet: true, replications: 2, repsSet: true}
+	if err := run("-", o, strings.NewReader(relDoc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"reliability_seed": 99`) {
+		t.Errorf("seed override missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `"replications": 2`) {
+		t.Errorf("replications override missing:\n%s", out.String())
+	}
+}
+
+func TestRejectsNonPositiveReplications(t *testing.T) {
+	for _, reps := range []int{0, -5} {
+		var out strings.Builder
+		o := overrides{replications: reps, repsSet: true}
+		err := run("-", o, strings.NewReader(relDoc), &out)
+		if err == nil || !strings.Contains(err.Error(), "-replications") {
+			t.Errorf("replications=%d: err = %v, want -replications validation error", reps, err)
+		}
+	}
+}
+
+func TestOverrideNeedsReliabilitySection(t *testing.T) {
+	var out strings.Builder
+	o := overrides{seed: 7, seedSet: true}
+	err := run("-", o, strings.NewReader(doc), &out)
+	if err == nil || !strings.Contains(err.Error(), "no reliability section") {
+		t.Errorf("err = %v, want missing-reliability error", err)
 	}
 }

@@ -1,0 +1,276 @@
+// Package mc is the Monte Carlo reliability engine: it replays one
+// broadcast configuration many times under sampled packet loss and
+// node failures and aggregates the replications into reliability
+// curves — reachability, delay, energy and transmission counts as
+// means with 95% confidence intervals per (loss rate, failure rate)
+// grid point.
+//
+// # Determinism
+//
+// A replication is a pure function of its derived seed: packet loss
+// and node failures come from counter-based draws (internal/sim's
+// keyed PRNG), never from shared stateful generators, so neither the
+// worker count nor completion order can shift a draw. Replications fan
+// out across the internal/sweep worker pool as independent jobs and
+// are gathered in job order; every aggregate is accumulated in that
+// order, so an mc report is byte-identical for any -workers value —
+// the stochastic extension of the sweep engine's parallel==serial
+// contract. Replication seeds are shared across grid points (common
+// random numbers), which couples the curves: per seed, raising the
+// loss rate can only remove deliveries.
+package mc
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+	"wsnbcast/internal/stats"
+	"wsnbcast/internal/sweep"
+)
+
+// Spec describes one reliability study: N seeded replications of a
+// (topology, protocol, source, config) broadcast at every point of the
+// loss-rate x failure-rate grid.
+type Spec struct {
+	Topology grid.Topology
+	Protocol sim.Protocol
+	Source   grid.Coord
+	// Config is the base simulation config; sampled failures are merged
+	// into its Down list and the loss channel replaces its Channel.
+	Config sim.Config
+	// Seed is the study seed; replication r of every grid point runs
+	// under sim.ReplicationSeed(Seed, r).
+	Seed uint64
+	// Replications is the number of seeded replications per grid point
+	// (>= 1).
+	Replications int
+	// LossRates and FailureRates span the study grid; nil means {0}.
+	// Rates must lie in [0, 1].
+	LossRates    []float64
+	FailureRates []float64
+	// Workers bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+func (s Spec) validate() error {
+	if s.Topology == nil || s.Protocol == nil {
+		return fmt.Errorf("mc: spec needs a topology and a protocol")
+	}
+	if !s.Topology.Contains(s.Source) {
+		return fmt.Errorf("mc: source %s outside the %s mesh", s.Source, s.Topology.Kind())
+	}
+	if s.Replications < 1 {
+		return fmt.Errorf("mc: replications must be >= 1 (got %d)", s.Replications)
+	}
+	for _, r := range s.LossRates {
+		if r < 0 || r > 1 || math.IsNaN(r) {
+			return fmt.Errorf("mc: loss rate %g outside [0, 1]", r)
+		}
+	}
+	for _, r := range s.FailureRates {
+		if r < 0 || r > 1 || math.IsNaN(r) {
+			return fmt.Errorf("mc: failure rate %g outside [0, 1]", r)
+		}
+	}
+	return nil
+}
+
+// Record is one replication's outcome — the JSONL row the wsnmc CLI
+// emits, and the raw material of the per-point aggregates.
+type Record struct {
+	LossRate     float64 `json:"loss_rate"`
+	FailureRate  float64 `json:"failure_rate"`
+	Rep          int     `json:"rep"`
+	Seed         uint64  `json:"seed"` // derived replication seed
+	Reached      int     `json:"reached"`
+	Total        int     `json:"total"`
+	Down         int     `json:"down"`
+	Reachability float64 `json:"reachability"`
+	Delay        int     `json:"delay"`
+	Tx           int     `json:"tx"`
+	Rx           int     `json:"rx"`
+	Lost         int     `json:"lost"`
+	Collisions   int     `json:"collisions"`
+	Repairs      int     `json:"repairs"`
+	EnergyJ      float64 `json:"energy_j"`
+}
+
+// Metric summarizes one quantity over a point's replications: the mean
+// with its normal-approximation 95% confidence half-width, plus the
+// observed extremes.
+type Metric struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func metric(r *stats.Running) Metric {
+	return Metric{Mean: r.Mean(), CI95: r.CI95(), Min: r.Min(), Max: r.Max()}
+}
+
+// Point aggregates the replications of one (loss rate, failure rate)
+// grid point.
+type Point struct {
+	LossRate     float64 `json:"loss_rate"`
+	FailureRate  float64 `json:"failure_rate"`
+	Replications int     `json:"replications"`
+	// FullyReached counts replications in which every live node decoded
+	// the message.
+	FullyReached int    `json:"fully_reached"`
+	Reachability Metric `json:"reachability"`
+	Delay        Metric `json:"delay"`
+	EnergyJ      Metric `json:"energy_j"`
+	Tx           Metric `json:"tx"`
+	Repairs      Metric `json:"repairs"`
+}
+
+// Report is the aggregated study. Points are ordered failure-rate
+// major, loss rate minor, both ascending — each failure rate's run of
+// points is one reachability-vs-loss-rate curve, and fixing a loss
+// rate across runs reads out the reachability-vs-failure-rate curve.
+type Report struct {
+	Topology     string  `json:"topology"`
+	Nodes        int     `json:"nodes"`
+	Protocol     string  `json:"protocol"`
+	Source       string  `json:"source"`
+	Seed         uint64  `json:"seed"`
+	Replications int     `json:"replications"`
+	Points       []Point `json:"points"`
+	// Records carries every replication (point-major, replication
+	// minor); the CLI writes them out as JSONL.
+	Records []Record `json:"-"`
+}
+
+// Curve returns the report's points at the given failure rate, in
+// ascending loss-rate order: one reachability-vs-loss-rate curve.
+func (r *Report) Curve(failureRate float64) []Point {
+	var out []Point
+	for _, p := range r.Points {
+		if p.FailureRate == failureRate {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CanonicalRates returns the canonical form of a grid axis: the input
+// sorted ascending and deduplicated, or {0} when empty. Run applies it
+// to both axes, and the scenario layer applies the same function when
+// canonicalizing documents so that equivalent rate lists share one
+// cache identity.
+func CanonicalRates(in []float64) []float64 {
+	if len(in) == 0 {
+		return []float64{0}
+	}
+	out := append([]float64(nil), in...)
+	sort.Float64s(out)
+	dedup := out[:1]
+	for _, r := range out[1:] {
+		if r != dedup[len(dedup)-1] {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
+}
+
+// Run executes the study: Replications seeded jobs per grid point,
+// fanned across the sweep engine's worker pool, gathered and
+// aggregated in job order. The first failed replication, in job order,
+// aborts with its identity; a cancelled context returns promptly with
+// the context's error.
+func Run(ctx context.Context, spec Spec) (*Report, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	lossRates := CanonicalRates(spec.LossRates)
+	failRates := CanonicalRates(spec.FailureRates)
+
+	type pointJobs struct {
+		loss, fail float64
+	}
+	var points []pointJobs
+	for _, fr := range failRates {
+		for _, lr := range lossRates {
+			points = append(points, pointJobs{loss: lr, fail: fr})
+		}
+	}
+
+	// One sweep job per (point, replication); the replication seed
+	// depends only on the replication index, so grid points share
+	// uniforms (common random numbers).
+	jobs := make([]sweep.Job, 0, len(points)*spec.Replications)
+	for _, pt := range points {
+		for rep := 0; rep < spec.Replications; rep++ {
+			repSeed := sim.ReplicationSeed(spec.Seed, rep)
+			cfg := spec.Config
+			if pt.fail > 0 {
+				sampled := sim.SampleFailures(spec.Topology, spec.Source, repSeed, pt.fail)
+				cfg.Down = append(append([]grid.Coord(nil), spec.Config.Down...), sampled...)
+			}
+			cfg.Channel = sim.NewBernoulliLoss(repSeed, pt.loss)
+			jobs = append(jobs, sweep.Job{
+				Topology: spec.Topology,
+				Protocol: spec.Protocol,
+				Source:   spec.Source,
+				Config:   cfg,
+			})
+		}
+	}
+
+	outs, err := sweep.New(spec.Workers).Run(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("mc: %w", err)
+	}
+
+	rep := &Report{
+		Topology:     spec.Topology.Kind().String(),
+		Nodes:        spec.Topology.NumNodes(),
+		Protocol:     spec.Protocol.Name(),
+		Source:       spec.Source.String(),
+		Seed:         spec.Seed,
+		Replications: spec.Replications,
+		Points:       make([]Point, 0, len(points)),
+		Records:      make([]Record, 0, len(jobs)),
+	}
+	for pi, pt := range points {
+		var reach, delay, energy, tx, repairs stats.Running
+		p := Point{LossRate: pt.loss, FailureRate: pt.fail, Replications: spec.Replications}
+		for r := 0; r < spec.Replications; r++ {
+			o := outs[pi*spec.Replications+r]
+			if o.Err != nil {
+				return nil, fmt.Errorf("mc: replication %d at loss=%g failure=%g: %w",
+					r, pt.loss, pt.fail, o.Err)
+			}
+			res := o.Result
+			rep.Records = append(rep.Records, Record{
+				LossRate: pt.loss, FailureRate: pt.fail,
+				Rep: r, Seed: sim.ReplicationSeed(spec.Seed, r),
+				Reached: res.Reached, Total: res.Total, Down: res.Down,
+				Reachability: res.Reachability(), Delay: res.Delay,
+				Tx: res.Tx, Rx: res.Rx, Lost: res.Lost,
+				Collisions: res.Collisions, Repairs: res.Repairs,
+				EnergyJ: res.EnergyJ,
+			})
+			reach.Add(res.Reachability())
+			delay.Add(float64(res.Delay))
+			energy.Add(res.EnergyJ)
+			tx.Add(float64(res.Tx))
+			repairs.Add(float64(res.Repairs))
+			if res.FullyReached() {
+				p.FullyReached++
+			}
+		}
+		p.Reachability = metric(&reach)
+		p.Delay = metric(&delay)
+		p.EnergyJ = metric(&energy)
+		p.Tx = metric(&tx)
+		p.Repairs = metric(&repairs)
+		rep.Points = append(rep.Points, p)
+	}
+	return rep, nil
+}

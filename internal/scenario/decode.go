@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+)
+
+// decodeStrict decodes exactly one JSON document into v, rejecting
+// unknown fields at any nesting level and any trailing content after
+// the document. The unknown-field rejection is what protects the
+// service cache: a misspelled option must become a 400, not a silent
+// fall-through to the default configuration's cache entry.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("scenario: %w", annotateUnknownField(err))
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("scenario: trailing content after the JSON document")
+	}
+	return nil
+}
+
+// annotateUnknownField upgrades encoding/json's bare
+// `unknown field "x"` error with a did-you-mean hint when x is a near
+// miss of a real field anywhere in the scenario schema.
+func annotateUnknownField(err error) error {
+	msg := err.Error()
+	const marker = `unknown field "`
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return err
+	}
+	rest := msg[i+len(marker):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return err
+	}
+	field := rest[:j]
+	if hint := closestField(field); hint != "" {
+		return fmt.Errorf(`unknown field %q (did you mean %q?)`, field, hint)
+	}
+	return fmt.Errorf("unknown field %q", field)
+}
+
+// knownFields is every JSON field name reachable from a scenario
+// document, collected once by reflection so the hint list can never
+// drift from the structs.
+var knownFields = collectFields(
+	reflect.TypeOf(Scenario{}),
+	reflect.TypeOf(TopologySpec{}),
+	reflect.TypeOf(PipelineSpec{}),
+	reflect.TypeOf(ReliabilitySpec{}),
+	reflect.TypeOf(Point{}),
+)
+
+func collectFields(types ...reflect.Type) []string {
+	var out []string
+	for _, t := range types {
+		for i := 0; i < t.NumField(); i++ {
+			tag := t.Field(i).Tag.Get("json")
+			name, _, _ := strings.Cut(tag, ",")
+			if name != "" && name != "-" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// closestField returns the known field nearest to the typo, or "" when
+// nothing is close: a match after lowercasing and dropping
+// underscores, or an edit distance of at most 2.
+func closestField(typo string) string {
+	norm := func(s string) string {
+		return strings.ReplaceAll(strings.ToLower(s), "_", "")
+	}
+	best, bestDist := "", 3
+	for _, f := range knownFields {
+		if norm(f) == norm(typo) {
+			return f
+		}
+		if d := editDistance(strings.ToLower(typo), f); d < bestDist {
+			best, bestDist = f, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance, small-string DP.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

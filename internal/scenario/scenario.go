@@ -18,6 +18,7 @@ import (
 	"wsnbcast/internal/converge"
 	"wsnbcast/internal/core"
 	"wsnbcast/internal/grid"
+	"wsnbcast/internal/mc"
 	"wsnbcast/internal/pipeline"
 	"wsnbcast/internal/radio"
 	"wsnbcast/internal/sim"
@@ -57,6 +58,21 @@ type PipelineSpec struct {
 	Interval int `json:"interval"` // 0 = find the safe interval
 }
 
+// ReliabilitySpec requests a Monte Carlo reliability study
+// (internal/mc): seeded replications of the broadcast at every point
+// of the loss-rate x failure-rate grid, aggregated into means with
+// 95% confidence intervals. The scenario must name exactly one source.
+type ReliabilitySpec struct {
+	// Seed is the study seed; identical seeds reproduce the study
+	// byte-for-byte at any worker count.
+	Seed uint64 `json:"seed"`
+	// Replications per grid point (>= 1).
+	Replications int `json:"replications"`
+	// LossRates and FailureRates span the grid; empty means {0}.
+	LossRates    []float64 `json:"loss_rates,omitempty"`
+	FailureRates []float64 `json:"failure_rates,omitempty"`
+}
+
 // Scenario is one declarative experiment.
 type Scenario struct {
 	Name     string       `json:"name"`
@@ -81,6 +97,13 @@ type Scenario struct {
 	// Convergecast, when true, also runs a data-collection round to the
 	// first source.
 	Convergecast bool `json:"convergecast,omitempty"`
+	// DisableRepair turns off the scheduler's repair pass, reporting
+	// whatever reachability the protocol rules achieve on their own —
+	// the setting reliability studies usually want.
+	DisableRepair bool `json:"disable_repair,omitempty"`
+	// Reliability, when present, runs a Monte Carlo reliability study
+	// from the (single) source after the deterministic broadcast.
+	Reliability *ReliabilitySpec `json:"reliability,omitempty"`
 }
 
 // RunReport is one broadcast's metrics.
@@ -120,17 +143,24 @@ type Report struct {
 	// Convergecast results.
 	ConvergeEnergyJ float64 `json:"converge_energy_j,omitempty"`
 	ConvergeSlots   int     `json:"converge_slots,omitempty"`
+
+	// Reliability study results: one aggregated point per (loss rate,
+	// failure rate), failure-rate major, loss rate minor.
+	Reliability []mc.Point `json:"reliability,omitempty"`
+	// ReliabilitySeed echoes the study seed the points were produced
+	// under.
+	ReliabilitySeed uint64 `json:"reliability_seed,omitempty"`
 }
 
-// Load parses a scenario document.
+// Load parses a scenario document. Unknown fields anywhere in the
+// document are rejected by name (with a did-you-mean hint for near
+// misses), and so is trailing content after the document: a typo like
+// "lossrate" must fail loudly rather than silently canonicalize into
+// — and serve the cached result of — the default configuration.
 func Load(r io.Reader) (Scenario, error) {
 	var s Scenario
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&s); err != nil {
-		return s, fmt.Errorf("scenario: %w", err)
-	}
-	return s, nil
+	err := decodeStrict(r, &s)
+	return s, err
 }
 
 func (s Scenario) topology() (grid.Topology, error) {
@@ -202,6 +232,7 @@ func (s Scenario) simConfig() (sim.Config, error) {
 	for _, d := range s.Down {
 		cfg.Down = append(cfg.Down, d.coord())
 	}
+	cfg.DisableRepair = s.DisableRepair
 	return cfg, nil
 }
 
@@ -254,6 +285,15 @@ func (s Scenario) Canonical() Scenario {
 		}
 		c.Pipeline = &p
 	}
+	if s.Reliability != nil {
+		// The rate grids canonicalize exactly as mc.Run consumes them
+		// (sorted, deduplicated, {0} when empty), so byte-different but
+		// equivalent studies share one cache identity.
+		r := *s.Reliability
+		r.LossRates = mc.CanonicalRates(s.Reliability.LossRates)
+		r.FailureRates = mc.CanonicalRates(s.Reliability.FailureRates)
+		c.Reliability = &r
+	}
 	return c
 }
 
@@ -302,6 +342,27 @@ func (s Scenario) Compile() (grid.Topology, sim.Protocol, sim.Config, error) {
 	}
 	if s.Pipeline != nil && s.Pipeline.Packets < 1 {
 		return nil, nil, sim.Config{}, fmt.Errorf("scenario: pipeline needs packets >= 1")
+	}
+	if r := s.Reliability; r != nil {
+		if len(s.Sources) != 1 {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: a reliability study needs exactly one source (got %d)", len(s.Sources))
+		}
+		if s.Pipeline != nil || s.BudgetJ > 0 || s.Convergecast {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: reliability does not combine with pipeline, budget or convergecast")
+		}
+		if r.Replications < 1 {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: reliability needs replications >= 1 (got %d)", r.Replications)
+		}
+		for _, rate := range r.LossRates {
+			if rate < 0 || rate > 1 {
+				return nil, nil, sim.Config{}, fmt.Errorf("scenario: loss rate %g outside [0, 1]", rate)
+			}
+		}
+		for _, rate := range r.FailureRates {
+			if rate < 0 || rate > 1 {
+				return nil, nil, sim.Config{}, fmt.Errorf("scenario: failure rate %g outside [0, 1]", rate)
+			}
+		}
 	}
 	return topo, p, cfg, nil
 }
@@ -356,6 +417,24 @@ func (s Scenario) RunContext(ctx context.Context) (Report, error) {
 		})
 	}
 	first := s.Sources[0].coord()
+
+	if s.Reliability != nil {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		study, err := mc.Run(ctx, mc.Spec{
+			Topology: topo, Protocol: p, Source: first, Config: cfg,
+			Seed:         s.Reliability.Seed,
+			Replications: s.Reliability.Replications,
+			LossRates:    s.Reliability.LossRates,
+			FailureRates: s.Reliability.FailureRates,
+		})
+		if err != nil {
+			return rep, err
+		}
+		rep.Reliability = study.Points
+		rep.ReliabilitySeed = study.Seed
+	}
 
 	if s.Pipeline != nil {
 		if err := ctx.Err(); err != nil {
@@ -428,10 +507,8 @@ func LoadAll(r io.Reader) ([]Scenario, error) {
 	})
 	if strings.HasPrefix(trimmed, "[") {
 		var list []Scenario
-		dec := json.NewDecoder(strings.NewReader(string(data)))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&list); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
+		if err := decodeStrict(strings.NewReader(string(data)), &list); err != nil {
+			return nil, err
 		}
 		return list, nil
 	}

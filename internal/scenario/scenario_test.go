@@ -356,3 +356,158 @@ func TestRunAllContextCancelMidBatch(t *testing.T) {
 		t.Errorf("cancellation took %v, want prompt return", elapsed)
 	}
 }
+
+func TestReliabilityScenario(t *testing.T) {
+	s := load(t, `{
+		"name": "lossy",
+		"topology": {"kind": "2d4", "m": 10, "n": 6},
+		"sources": [{"x": 5, "y": 3}],
+		"disable_repair": true,
+		"reliability": {
+			"seed": 11,
+			"replications": 10,
+			"loss_rates": [0, 0.2],
+			"failure_rates": [0, 0.1]
+		}
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %d, want the deterministic baseline run", len(rep.Runs))
+	}
+	if len(rep.Reliability) != 4 {
+		t.Fatalf("reliability points = %d, want 4", len(rep.Reliability))
+	}
+	if rep.ReliabilitySeed != 11 {
+		t.Errorf("reliability_seed = %d", rep.ReliabilitySeed)
+	}
+	p0 := rep.Reliability[0]
+	if p0.LossRate != 0 || p0.FailureRate != 0 || p0.Reachability.Mean != 1 {
+		t.Errorf("zero-rate point: %+v", p0)
+	}
+	lossy := rep.Reliability[1]
+	if lossy.LossRate != 0.2 || lossy.Reachability.Mean >= 1 {
+		t.Errorf("lossy point did not degrade: %+v", lossy)
+	}
+}
+
+func TestReliabilityValidation(t *testing.T) {
+	for name, doc := range map[string]string{
+		"no source": `{"topology": {"kind": "2d4", "m": 4, "n": 4},
+			"reliability": {"replications": 3}}`,
+		"two sources": `{"topology": {"kind": "2d4", "m": 4, "n": 4},
+			"sources": [{"x": 1, "y": 1}, {"x": 2, "y": 2}],
+			"reliability": {"replications": 3}}`,
+		"zero replications": `{"topology": {"kind": "2d4", "m": 4, "n": 4},
+			"sources": [{"x": 1, "y": 1}], "reliability": {"replications": 0}}`,
+		"negative replications": `{"topology": {"kind": "2d4", "m": 4, "n": 4},
+			"sources": [{"x": 1, "y": 1}], "reliability": {"replications": -2}}`,
+		"loss rate above 1": `{"topology": {"kind": "2d4", "m": 4, "n": 4},
+			"sources": [{"x": 1, "y": 1}],
+			"reliability": {"replications": 3, "loss_rates": [1.5]}}`,
+		"negative failure rate": `{"topology": {"kind": "2d4", "m": 4, "n": 4},
+			"sources": [{"x": 1, "y": 1}],
+			"reliability": {"replications": 3, "failure_rates": [-0.1]}}`,
+		"combined with pipeline": `{"topology": {"kind": "2d4", "m": 4, "n": 4},
+			"sources": [{"x": 1, "y": 1}], "pipeline": {"packets": 2},
+			"reliability": {"replications": 3}}`,
+	} {
+		if err := load(t, doc).Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Equivalent reliability documents — unsorted, duplicated rate grids,
+// empty grids vs explicit {0} — canonicalize to one identity, so the
+// service cache and singleflight treat them as the same request.
+func TestReliabilityCanonicalIdentity(t *testing.T) {
+	a := load(t, `{
+		"topology": {"kind": "2d4", "m": 6, "n": 4},
+		"sources": [{"x": 1, "y": 1}],
+		"reliability": {"seed": 5, "replications": 4, "loss_rates": [0.2, 0, 0.2]}
+	}`).Canonical()
+	b := load(t, `{
+		"topology": {"kind": "2d4", "m": 6, "n": 4},
+		"sources": [{"x": 1, "y": 1, "z": 1}],
+		"protocol": "paper",
+		"reliability": {"seed": 5, "replications": 4, "loss_rates": [0, 0.2], "failure_rates": [0]}
+	}`).Canonical()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("equivalent reliability docs canonicalize differently:\n%s\n%s", ja, jb)
+	}
+}
+
+// The strict decoder names the offending field and suggests the real
+// one for near misses, at any nesting level.
+func TestLoadUnknownFieldSuggestions(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want []string
+	}{
+		{`{"topology": {"kind": "2d4", "m": 4, "n": 4}, "lossrate": 0.1}`,
+			[]string{`"lossrate"`, `"loss_rates"`}},
+		{`{"topology": {"kind": "2d4", "m": 4, "n": 4}, "sources": [{"x": 1, "y": 1}],
+			"reliability": {"replications": 3, "loss_rate": [0.1]}}`,
+			[]string{`"loss_rate"`, `"loss_rates"`}},
+		{`{"topology": {"kind": "2d4", "m": 4, "n": 4}, "disablerepair": true}`,
+			[]string{`"disablerepair"`, `"disable_repair"`}},
+		{`{"topology": {"kind": "2d4", "m": 4, "n": 4}, "zzqx": 1}`,
+			[]string{`"zzqx"`}},
+	}
+	for _, c := range cases {
+		_, err := Load(strings.NewReader(c.doc))
+		if err == nil {
+			t.Errorf("doc with unknown field accepted: %s", c.doc)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("error %q missing %s", err, w)
+			}
+		}
+	}
+	// The far-off typo must not get a misleading suggestion.
+	_, err := Load(strings.NewReader(`{"topology": {"kind": "2d4", "m": 4, "n": 4}, "zzqx": 1}`))
+	if err != nil && strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off typo got a suggestion: %v", err)
+	}
+}
+
+func TestLoadRejectsTrailingContent(t *testing.T) {
+	for _, doc := range []string{
+		`{"topology": {"kind": "2d4", "m": 4, "n": 4}} {"x": 1}`,
+		`{"topology": {"kind": "2d4", "m": 4, "n": 4}} trailing`,
+	} {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("trailing content accepted: %s", doc)
+		}
+	}
+	// A trailing newline stays fine.
+	if _, err := Load(strings.NewReader("{\"topology\": {\"kind\": \"2d4\", \"m\": 4, \"n\": 4}}\n")); err != nil {
+		t.Errorf("trailing newline rejected: %v", err)
+	}
+	if _, err := LoadAll(strings.NewReader(`[{"topology": {"kind": "2d4", "m": 4, "n": 4}}] x`)); err == nil {
+		t.Error("trailing content after array accepted")
+	}
+}
+
+func TestDisableRepairScenario(t *testing.T) {
+	s := load(t, `{
+		"topology": {"kind": "2d4", "m": 8, "n": 8},
+		"protocol": "flooding",
+		"sources": [{"x": 1, "y": 1}],
+		"disable_repair": true
+	}`)
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs[0].Repairs != 0 {
+		t.Errorf("disable_repair still repaired %d times", rep.Runs[0].Repairs)
+	}
+}

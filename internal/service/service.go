@@ -5,7 +5,10 @@
 // Three POST endpoints accept the declarative scenario JSON of
 // internal/scenario as their wire format:
 //
-//   - /v1/run — a single broadcast (exactly one source)
+//   - /v1/run — a single broadcast (exactly one source), optionally
+//     with a Monte Carlo reliability study (a "reliability" section:
+//     seeded replications under packet loss and node failures,
+//     aggregated into confidence-interval curves by internal/mc)
 //   - /v1/scenario — a full scenario document (pipelining, failures,
 //     lifetime, convergecast)
 //   - /v1/sweep — an all-sources sweep on the parallel sweep engine,
@@ -67,6 +70,10 @@ type Config struct {
 	// with 413.
 	MaxBodyBytes int64
 	MaxNodes     int
+	// MaxReliabilityJobs caps the total simulation jobs one reliability
+	// study may request — replications x loss rates x failure rates
+	// (<= 0: 65536); larger studies reject with 413.
+	MaxReliabilityJobs int
 	// SweepWorkers sizes the per-request sweep engine of /v1/sweep
 	// (<= 0: GOMAXPROCS).
 	SweepWorkers int
@@ -95,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxNodes <= 0 {
 		c.MaxNodes = 1 << 17
+	}
+	if c.MaxReliabilityJobs <= 0 {
+		c.MaxReliabilityJobs = 1 << 16
 	}
 	return c
 }
@@ -246,6 +256,9 @@ func prepSweep(sc scenario.Scenario) error {
 	if sc.Pipeline != nil || sc.BudgetJ > 0 || sc.Convergecast {
 		return errors.New("POST /v1/sweep is a plain all-sources sweep; use /v1/scenario for pipeline, budget or convergecast runs")
 	}
+	if sc.Reliability != nil {
+		return errors.New("POST /v1/sweep is deterministic; run reliability studies through /v1/run or /v1/scenario")
+	}
 	return nil
 }
 
@@ -280,6 +293,16 @@ func (s *Server) handleSim(endpoint string, prep func(scenario.Scenario) error, 
 			s.fail(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("mesh too large: %d nodes (limit %d)", n, s.cfg.MaxNodes))
 			return
+		}
+		if rel := sc.Reliability; rel != nil {
+			// The grids are canonical here, so the product is the exact
+			// number of simulation jobs the study would admit.
+			jobs := rel.Replications * len(rel.LossRates) * len(rel.FailureRates)
+			if jobs > s.cfg.MaxReliabilityJobs {
+				s.fail(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("reliability study too large: %d simulation jobs (limit %d)", jobs, s.cfg.MaxReliabilityJobs))
+				return
+			}
 		}
 		timeout, err := s.requestTimeout(r)
 		if err != nil {

@@ -488,3 +488,96 @@ func TestScenarioEndpointFullDocument(t *testing.T) {
 		t.Errorf("report = %+v, want pipeline, lifetime and convergecast results", rep)
 	}
 }
+
+const reliabilityDoc = `{
+	"topology": {"kind": "2d4", "m": 8, "n": 6},
+	"sources": [{"x": 4, "y": 3}],
+	"disable_repair": true,
+	"reliability": {"seed": 9, "replications": 8, "loss_rates": [0, 0.2]}
+}`
+
+// /v1/run exposes Monte Carlo reliability studies: the response carries
+// the aggregated points, and canonicalization makes equivalent grids
+// (reordered, duplicated rates) hit the same cache entry.
+func TestRunEndpointReliability(t *testing.T) {
+	srv := New(Config{})
+	w := post(srv, "/v1/run", reliabilityDoc)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Reliability) != 2 {
+		t.Fatalf("reliability points = %d, want 2", len(rep.Reliability))
+	}
+	if rep.Reliability[0].Reachability.Mean != 1 {
+		t.Errorf("lossless point: %+v", rep.Reliability[0])
+	}
+	if rep.Reliability[1].Reachability.Mean >= 1 {
+		t.Errorf("20%% loss did not degrade reachability: %+v", rep.Reliability[1])
+	}
+	// Byte-different but equivalent study: duplicated + reordered rates.
+	equiv := strings.Replace(reliabilityDoc, `[0, 0.2]`, `[0.2, 0, 0.2]`, 1)
+	w2 := post(srv, "/v1/run", equiv)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("equivalent doc status = %d", w2.Code)
+	}
+	if got := w2.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("equivalent reliability doc X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Error("cached reliability body differs")
+	}
+}
+
+func TestSweepEndpointRejectsReliability(t *testing.T) {
+	srv := New(Config{})
+	doc := `{"topology": {"kind": "2d4", "m": 4, "n": 4}, "reliability": {"replications": 2}}`
+	w := post(srv, "/v1/sweep", doc)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "reliability") {
+		t.Errorf("body %s does not name the offending section", w.Body)
+	}
+}
+
+// A misspelled field answers 400 with the field name and a suggestion —
+// it must not silently canonicalize into a cache hit for the default
+// configuration.
+func TestUnknownFieldAnswers400WithHint(t *testing.T) {
+	srv := New(Config{})
+	doc := `{"topology": {"kind": "2d4", "m": 8, "n": 8}, "sources": [{"x": 3, "y": 3}], "lossrate": 0.1}`
+	w := post(srv, "/v1/run", doc)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "lossrate") || !strings.Contains(w.Body.String(), "loss_rates") {
+		t.Errorf("body %s missing field name or suggestion", w.Body)
+	}
+	// The well-formed document must still be a cold miss afterwards:
+	// nothing about the typo run may have polluted the cache.
+	w2 := post(srv, "/v1/run", runDoc)
+	if got := w2.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first clean request X-Cache = %q, want miss", got)
+	}
+}
+
+func TestReliabilityStudySizeCap(t *testing.T) {
+	srv := New(Config{MaxReliabilityJobs: 10})
+	doc := `{
+		"topology": {"kind": "2d4", "m": 4, "n": 4},
+		"sources": [{"x": 1, "y": 1}],
+		"reliability": {"replications": 6, "loss_rates": [0, 0.1]}
+	}`
+	w := post(srv, "/v1/run", doc)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413; body %s", w.Code, w.Body)
+	}
+	small := strings.Replace(doc, `"replications": 6`, `"replications": 5`, 1)
+	if w := post(srv, "/v1/run", small); w.Code != http.StatusOK {
+		t.Fatalf("10-job study status = %d, body %s", w.Code, w.Body)
+	}
+}

@@ -35,6 +35,12 @@ type Config struct {
 	// A broadcast cannot originate at a down node. Reachability and
 	// reception accounting cover the live nodes only.
 	Down []grid.Coord
+	// Channel, when non-nil, decides per-link reception (lossy
+	// channels). It must be a pure function of (slot, tx, rx): the
+	// engine replays schedules while planning repairs and relies on a
+	// replayed transmission receiving the same verdict. nil is the
+	// error-free channel.
+	Channel Channel
 }
 
 func (c Config) withDefaults(v int) Config {
@@ -327,6 +333,11 @@ func (e *engine) step(slot int, txs []int32) {
 		e.res.Tx++
 		e.emit(Event{Slot: slot, Kind: EventTx, Node: e.topo.At(int(tx))})
 		for _, nb := range e.nbr[tx] {
+			if e.cfg.Channel != nil && !e.cfg.Channel.Deliver(slot, tx, nb) {
+				e.res.Lost++
+				e.emit(Event{Slot: slot, Kind: EventLost, Node: e.topo.At(int(nb))})
+				continue
+			}
 			e.heard[nb]++
 			e.res.Rx++
 			if e.hit[nb] == 0 {
@@ -519,7 +530,9 @@ func (e *engine) finish() {
 	}
 	etx := e.cfg.Model.TxEnergyJ(e.cfg.Packet.Bits, e.cfg.Packet.NeighborDistM)
 	erx := e.cfg.Model.RxEnergyJ(e.cfg.Packet.Bits)
-	r.PerNodeEnergyJ = make([]float64, r.Total)
+	// Sized by dense node index (down nodes hold 0), not by live
+	// count: consumers like the energy heatmap index it by t.Index.
+	r.PerNodeEnergyJ = make([]float64, len(e.txSlots))
 	for i := range r.PerNodeEnergyJ {
 		r.PerNodeEnergyJ[i] = float64(len(e.txSlots[i]))*etx + float64(e.heard[i])*erx
 	}

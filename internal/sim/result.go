@@ -41,6 +41,10 @@ type Result struct {
 
 	// Collisions counts (slot, receiver) collision events.
 	Collisions int
+	// Lost counts receptions a lossy channel (Config.Channel) dropped
+	// before they reached the receiver; Rx excludes them, so
+	// Rx + Lost equals the error-free degree sum.
+	Lost int
 	// Duplicates counts successful decodes of already-held copies.
 	Duplicates int
 	// Repairs counts scheduler-granted retransmissions beyond the
@@ -52,8 +56,8 @@ type Result struct {
 	DecodeSlot []int
 	// TxSlots[i] lists the slots node i transmitted in (ordered).
 	TxSlots [][]int
-	// PerNodeEnergyJ[i] is the energy node i spent (its own Tx plus
-	// everything it heard).
+	// PerNodeEnergyJ[i] is the energy the node at dense index i spent
+	// (its own Tx plus everything it heard); down nodes hold 0.
 	PerNodeEnergyJ []float64
 
 	// downMask marks failed nodes (nil when none); set by the engine
@@ -147,7 +151,8 @@ func (r *Result) String() string {
 //     before its first transmission;
 //   - transmission slot lists are strictly increasing;
 //   - Tx equals the total number of logged transmissions;
-//   - Rx equals the sum over transmissions of the transmitter's degree;
+//   - Rx plus channel-dropped copies equals the sum over transmissions
+//     of the transmitter's degree;
 //   - Delay equals the maximum decode slot;
 //   - energy matches the ledger formula.
 func (r *Result) Validate(t grid.Topology, model radio.Model, pkt radio.Packet) error {
@@ -201,8 +206,8 @@ func (r *Result) Validate(t grid.Topology, model radio.Model, pkt radio.Packet) 
 	if txCount != r.Tx {
 		return fmt.Errorf("sim: Tx=%d but logged %d transmissions", r.Tx, txCount)
 	}
-	if rxCount != r.Rx {
-		return fmt.Errorf("sim: Rx=%d but degree-sum is %d", r.Rx, rxCount)
+	if rxCount != r.Rx+r.Lost {
+		return fmt.Errorf("sim: Rx=%d + Lost=%d but degree-sum is %d", r.Rx, r.Lost, rxCount)
 	}
 	maxDecode := 0
 	reached := 0

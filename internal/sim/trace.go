@@ -23,6 +23,10 @@ const (
 	// EventRepair is the scheduler granting an unplanned retransmission
 	// to cover a node the protocol rules left unreachable.
 	EventRepair
+	// EventLost is a lossy channel (Config.Channel) dropping one copy
+	// before it reaches the node: the receiver neither hears nor pays
+	// for it.
+	EventLost
 )
 
 // String names the event kind for human-readable traces.
@@ -38,6 +42,8 @@ func (k EventKind) String() string {
 		return "collide"
 	case EventRepair:
 		return "repair"
+	case EventLost:
+		return "lost"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -56,6 +56,32 @@ func (r *Running) Var() float64 {
 // StdDev returns the population standard deviation.
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Var()) }
 
+// SampleVar returns the unbiased (n-1 denominator) sample variance,
+// the estimator Monte Carlo replications call for; 0 for fewer than
+// two observations.
+func (r *Running) SampleVar() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdErr returns the standard error of the mean,
+// sqrt(SampleVar / n); 0 for fewer than two observations.
+func (r *Running) StdErr() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.SampleVar() / float64(r.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95%
+// confidence interval for the mean, 1.96 * StdErr. The normal
+// approximation is what replication counts of ~30+ warrant; callers
+// running very few replications should read it as a rough error bar,
+// not a calibrated interval.
+func (r *Running) CI95() float64 { return 1.96 * r.StdErr() }
+
 // Min and Max return the observed extremes (0 for no observations).
 func (r *Running) Min() float64 { return r.min }
 func (r *Running) Max() float64 { return r.max }

@@ -35,6 +35,36 @@ func TestRunningEmpty(t *testing.T) {
 	if r.Mean() != 0 || r.Var() != 0 || r.StdDev() != 0 || r.N() != 0 {
 		t.Error("empty accumulator not zero")
 	}
+	if r.SampleVar() != 0 || r.StdErr() != 0 || r.CI95() != 0 {
+		t.Error("empty accumulator has a nonzero interval")
+	}
+}
+
+// Sample moments: n-1 denominator, stderr = s/sqrt(n), normal 95%
+// half-width 1.96*stderr; a single observation has no interval.
+func TestRunningSampleMoments(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.SampleVar() != 0 || r.CI95() != 0 {
+		t.Error("one observation should carry no spread")
+	}
+	for _, x := range []float64{5, 7} {
+		r.Add(x)
+	}
+	if v := r.SampleVar(); v != 4 { // {3,5,7}: m2=8, n-1=2
+		t.Errorf("SampleVar = %g, want 4", v)
+	}
+	wantSE := math.Sqrt(4.0 / 3.0)
+	if se := r.StdErr(); math.Abs(se-wantSE) > 1e-12 {
+		t.Errorf("StdErr = %g, want %g", se, wantSE)
+	}
+	if ci := r.CI95(); math.Abs(ci-1.96*wantSE) > 1e-12 {
+		t.Errorf("CI95 = %g, want %g", ci, 1.96*wantSE)
+	}
+	// Relationship to the population variance: SampleVar = Var * n/(n-1).
+	if got, want := r.SampleVar(), r.Var()*3/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleVar %g inconsistent with Var %g", got, r.Var())
+	}
 }
 
 // Welford must agree with the two-pass formula.

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet verify golden cover
+.PHONY: all build test race bench bench-engine bench-json benchstat vet verify golden cover
 
 all: verify
 
@@ -27,6 +27,33 @@ race:
 bench:
 	$(GO) test ./internal/sweep -bench=Sweep -benchtime=3x -run=^$$
 	$(GO) test ./internal/service -bench=Served -benchtime=100x -run=^$$
+
+# Engine-overhaul measurement pipeline. bench/baseline.txt pins the
+# pre-optimization numbers (same commands, run at the commit before the
+# scheduler/arena/relay-plan rewrite); bench-engine reproduces the
+# suite in the identical shape so benchstat and benchjson can pair the
+# rows up.
+bench-engine:
+	$(GO) test ./internal/sim -run='^$$' -bench=. -benchmem | tee bench/current.txt
+	$(GO) test ./internal/mc -run='^$$' -bench=. -benchmem | tee -a bench/current.txt
+	$(GO) test ./internal/sweep -run='^$$' -bench=. -benchmem -benchtime=2x | tee -a bench/current.txt
+
+# Machine-readable before/after record. CI regenerates BENCH_sim.json
+# on every run and uploads it as an artifact.
+bench-json:
+	@test -f bench/current.txt || $(MAKE) bench-engine
+	$(GO) run ./cmd/benchjson -before bench/baseline.txt -after bench/current.txt -o BENCH_sim.json
+	@echo wrote BENCH_sim.json
+
+# Human-readable comparison against the pinned baseline. benchstat is
+# not vendored; install it once with:
+#   go install golang.org/x/perf/cmd/benchstat@latest
+benchstat:
+	@command -v benchstat >/dev/null 2>&1 || { \
+		echo "benchstat not found on PATH; install it with:"; \
+		echo "  go install golang.org/x/perf/cmd/benchstat@latest"; exit 1; }
+	@test -f bench/current.txt || $(MAKE) bench-engine
+	benchstat bench/baseline.txt bench/current.txt
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,197 @@
+// Command benchjson merges two `go test -bench -benchmem` text outputs
+// — a pinned baseline and a current run — into one machine-readable
+// JSON document of before/after pairs with computed speedups. The
+// Makefile's bench-json target uses it to produce BENCH_sim.json, the
+// committed perf record for the engine overhaul; CI regenerates and
+// uploads the same document as a build artifact.
+//
+// Usage:
+//
+//	benchjson -before bench/baseline.txt -after /tmp/bench.txt -o BENCH_sim.json
+//
+// Benchmarks present in only one input appear with the other side
+// null, so a renamed or newly added benchmark is visible rather than
+// silently dropped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one side of a before/after pair.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// entry is one benchmark's merged record. Speedup and AllocRatio are
+// baseline/current — values above 1 mean the current run is better —
+// and are omitted when either side is missing.
+type entry struct {
+	Name       string   `json:"name"`
+	Pkg        string   `json:"pkg"`
+	Before     *metrics `json:"before"`
+	After      *metrics `json:"after"`
+	Speedup    float64  `json:"speedup,omitempty"`
+	AllocRatio float64  `json:"alloc_ratio,omitempty"`
+}
+
+// benchLine matches a -benchmem result row:
+//
+//	BenchmarkEngine/2D-4    34014    36140 ns/op    36536 B/op    358 allocs/op
+//
+// The B/op and allocs/op columns are optional (plain -bench output).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// parseBench reads `go test -bench` text output, returning metrics
+// keyed by "pkg.Name" (the pkg: header lines scope the names, so equal
+// benchmark names in different packages never collide).
+func parseBench(r io.Reader) (map[string]metrics, map[string]string, error) {
+	results := make(map[string]metrics)
+	pkgs := make(map[string]string)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		mt := metrics{NsPerOp: ns, Iterations: iters}
+		if m[4] != "" {
+			mt.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			mt.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		key := pkg + "." + m[1]
+		results[key] = mt
+		pkgs[key] = pkg
+	}
+	return results, pkgs, sc.Err()
+}
+
+// merge joins the two parses into sorted entries.
+func merge(before, after map[string]metrics, pkgs map[string]string) []entry {
+	keys := make(map[string]bool)
+	for k := range before {
+		keys[k] = true
+	}
+	for k := range after {
+		keys[k] = true
+	}
+	var out []entry
+	for k := range keys {
+		e := entry{Pkg: pkgs[k], Name: strings.TrimPrefix(k, pkgs[k]+".")}
+		if m, ok := before[k]; ok {
+			m := m
+			e.Before = &m
+		}
+		if m, ok := after[k]; ok {
+			m := m
+			e.After = &m
+		}
+		if e.Before != nil && e.After != nil && e.After.NsPerOp > 0 {
+			e.Speedup = round2(e.Before.NsPerOp / e.After.NsPerOp)
+			if e.After.AllocsPerOp > 0 {
+				e.AllocRatio = round2(float64(e.Before.AllocsPerOp) / float64(e.After.AllocsPerOp))
+			}
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func run(beforePath, afterPath string, w io.Writer) error {
+	bf, err := os.Open(beforePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	af, err := os.Open(afterPath)
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+
+	before, pkgsB, err := parseBench(bf)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", beforePath, err)
+	}
+	after, pkgsA, err := parseBench(af)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", afterPath, err)
+	}
+	if len(before) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", beforePath)
+	}
+	if len(after) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", afterPath)
+	}
+	for k, p := range pkgsB {
+		if _, ok := pkgsA[k]; !ok {
+			pkgsA[k] = p
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"baseline": beforePath,
+		"units":    map[string]string{"ns_op": "ns/op", "b_op": "B/op", "allocs_op": "allocs/op"},
+		"results":  merge(before, after, pkgsA),
+	})
+}
+
+func main() {
+	before := flag.String("before", "", "baseline `file` (go test -bench -benchmem output)")
+	after := flag.String("after", "", "current `file` (same format)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if *before == "" || *after == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -before and -after are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(*before, *after, w); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const beforeText = `goos: linux
+pkg: wsnbcast/internal/sim
+BenchmarkEngine/2D-4    	   34014	     36140 ns/op	   36536 B/op	     358 allocs/op
+BenchmarkEngineSmall 	  170578	      7575 ns/op	    6104 B/op	      82 allocs/op
+BenchmarkGone        	     100	      9999 ns/op	     100 B/op	      10 allocs/op
+pkg: wsnbcast/internal/mc
+BenchmarkMCReliability 	     104	  11189134 ns/op	 5873663 B/op	   88504 allocs/op
+`
+
+const afterText = `goos: linux
+pkg: wsnbcast/internal/sim
+BenchmarkEngine/2D-4    	  100000	     14047 ns/op	    4640 B/op	       5 allocs/op
+BenchmarkEngineSmall 	  400000	      2530 ns/op	     672 B/op	       5 allocs/op
+BenchmarkNew         	  200000	      5000 ns/op	     300 B/op	       3 allocs/op
+pkg: wsnbcast/internal/mc
+BenchmarkMCReliability 	     500	   2487367 ns/op	 1238158 B/op	   14736 allocs/op
+`
+
+func TestParseBench(t *testing.T) {
+	results, pkgs, err := parseBench(strings.NewReader(beforeText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	key := "wsnbcast/internal/sim.BenchmarkEngine/2D-4"
+	m, ok := results[key]
+	if !ok {
+		t.Fatalf("missing %s; got keys %v", key, results)
+	}
+	if m.NsPerOp != 36140 || m.BytesPerOp != 36536 || m.AllocsPerOp != 358 || m.Iterations != 34014 {
+		t.Errorf("wrong metrics: %+v", m)
+	}
+	if pkgs[key] != "wsnbcast/internal/sim" {
+		t.Errorf("pkg = %q", pkgs[key])
+	}
+}
+
+func TestParseBenchWithoutBenchmem(t *testing.T) {
+	results, _, err := parseBench(strings.NewReader("pkg: p\nBenchmarkX \t 10\t 123 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := results["p.BenchmarkX"]
+	if m.NsPerOp != 123 || m.BytesPerOp != 0 || m.AllocsPerOp != 0 {
+		t.Errorf("plain -bench row parsed wrong: %+v", m)
+	}
+}
+
+func TestMergeComputesRatiosAndKeepsOrphans(t *testing.T) {
+	before, pkgsB, _ := parseBench(strings.NewReader(beforeText))
+	after, pkgsA, _ := parseBench(strings.NewReader(afterText))
+	for k, p := range pkgsB {
+		if _, ok := pkgsA[k]; !ok {
+			pkgsA[k] = p
+		}
+	}
+	entries := merge(before, after, pkgsA)
+	if len(entries) != 5 {
+		t.Fatalf("merged %d entries, want 5 (3 shared + 1 removed + 1 added)", len(entries))
+	}
+	byName := map[string]entry{}
+	for _, e := range entries {
+		byName[e.Pkg+"."+e.Name] = e
+	}
+	e := byName["wsnbcast/internal/sim.BenchmarkEngine/2D-4"]
+	if e.Speedup < 2.5 || e.Speedup > 2.6 {
+		t.Errorf("speedup = %v, want ~2.57", e.Speedup)
+	}
+	if e.AllocRatio < 71 || e.AllocRatio > 72 {
+		t.Errorf("alloc ratio = %v, want ~71.6", e.AllocRatio)
+	}
+	if g := byName["wsnbcast/internal/sim.BenchmarkGone"]; g.After != nil || g.Before == nil || g.Speedup != 0 {
+		t.Errorf("removed benchmark not reported as baseline-only: %+v", g)
+	}
+	if n := byName["wsnbcast/internal/sim.BenchmarkNew"]; n.Before != nil || n.After == nil {
+		t.Errorf("added benchmark not reported as current-only: %+v", n)
+	}
+	// Deterministic order: sorted by pkg then name.
+	if entries[0].Pkg > entries[len(entries)-1].Pkg {
+		t.Errorf("entries not sorted by package: %v ... %v", entries[0], entries[len(entries)-1])
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "before.txt")
+	ap := filepath.Join(dir, "after.txt")
+	if err := os.WriteFile(bp, []byte(beforeText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ap, []byte(afterText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(bp, ap, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Baseline string  `json:"baseline"`
+		Results  []entry `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Baseline != bp || len(doc.Results) != 5 {
+		t.Errorf("doc = %+v", doc)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	full := filepath.Join(dir, "full.txt")
+	os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644)
+	os.WriteFile(full, []byte(beforeText), 0o644)
+	if err := run(empty, full, &bytes.Buffer{}); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if err := run(full, empty, &bytes.Buffer{}); err == nil {
+		t.Error("empty current run accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"wsnbcast/internal/experiments"
+	"wsnbcast/internal/profiling"
 	"wsnbcast/internal/table"
 )
 
@@ -26,10 +27,21 @@ func main() {
 	extensions := flag.Bool("extensions", false, "print only the extension tables (E1-E7)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown instead of ASCII boxes")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS); tables are identical for every value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*tableN, *ablations, *extensions, *markdown, *workers); err != nil {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsnbench:", err)
+		os.Exit(1)
+	}
+	runErr := run(*tableN, *ablations, *extensions, *markdown, *workers)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnbench:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "wsnbench:", runErr)
 		os.Exit(1)
 	}
 }

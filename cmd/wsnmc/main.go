@@ -31,6 +31,7 @@ import (
 	"wsnbcast/internal/core"
 	"wsnbcast/internal/grid"
 	"wsnbcast/internal/mc"
+	"wsnbcast/internal/profiling"
 	"wsnbcast/internal/sim"
 )
 
@@ -46,6 +47,8 @@ type options struct {
 	workers       int
 	disableRepair bool
 	jsonl         string
+	cpuprofile    string
+	memprofile    string
 }
 
 func main() {
@@ -63,10 +66,21 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.disableRepair, "disable-repair", false, "turn off the scheduler's repair pass")
 	flag.StringVar(&o.jsonl, "jsonl", "", "write per-replication records to this file as JSON lines")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(o, os.Stdout); err != nil {
+	stopProfiles, err := profiling.Start(o.cpuprofile, o.memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsnmc:", err)
+		os.Exit(1)
+	}
+	runErr := run(o, os.Stdout)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnmc:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "wsnmc:", runErr)
 		os.Exit(1)
 	}
 }

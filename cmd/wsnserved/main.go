@@ -24,6 +24,13 @@
 //	wsnserved -addr :9000 -workers 4 -queue 128
 //	wsnserved -cache-entries 4096 -cache-mb 128
 //	wsnserved -timeout 10s -max-nodes 65536 -quiet
+//	wsnserved -pprof localhost:6060  # expose net/http/pprof separately
+//
+// The -pprof flag starts a second HTTP listener serving only the
+// net/http/pprof handlers (/debug/pprof/...). It is off by default and
+// must stay off in production-facing deployments: the profile
+// endpoints expose internals and can perturb latency while sampling.
+// Bind it to localhost when profiling a live instance.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +62,7 @@ type options struct {
 	sweepWorkers int
 	drain        time.Duration
 	quiet        bool
+	pprofAddr    string
 }
 
 func main() {
@@ -70,6 +79,7 @@ func main() {
 	flag.IntVar(&o.sweepWorkers, "sweep-workers", 0, "per-request sweep engine pool size (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown budget after SIGTERM")
 	flag.BoolVar(&o.quiet, "quiet", false, "disable the access log")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this extra address (off by default; not for production)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,6 +104,20 @@ func run(ctx context.Context, o options, ln net.Listener, logw io.Writer) error 
 	var accessLog io.Writer
 	if !o.quiet {
 		accessLog = logw
+	}
+	if o.pprofAddr != "" {
+		// The profiler gets its own listener and its own mux: the
+		// service mux never exposes /debug/pprof, and the explicit
+		// handler registration below keeps anything else that may have
+		// landed on http.DefaultServeMux off the debug port.
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		psrv := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		fmt.Fprintf(logw, "wsnserved: pprof on http://%s/debug/pprof/ (debug listener, do not expose publicly)\n", pln.Addr())
+		go psrv.Serve(pln)
+		defer psrv.Close()
 	}
 	svc := service.New(service.Config{
 		Workers:        o.workers,
@@ -140,4 +164,15 @@ func run(ctx context.Context, o options, ln net.Listener, logw io.Writer) error 
 	}
 	fmt.Fprintf(logw, "wsnserved: drained cleanly\n")
 	return nil
+}
+
+// pprofMux builds a mux carrying exactly the net/http/pprof handlers.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

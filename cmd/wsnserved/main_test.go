@@ -139,6 +139,63 @@ func TestAccessLogWiring(t *testing.T) {
 	}
 }
 
+// TestPprofListener: -pprof serves the debug handlers on its own
+// listener, and the service listener never exposes /debug/pprof.
+func TestPprofListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := pln.Addr().String()
+	pln.Close() // run opens its own listener on this now-free address
+
+	o := defaults()
+	o.pprofAddr = pprofAddr
+	ctx, cancel := context.WithCancel(context.Background())
+	var logBuf syncWriter
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, ln, &logBuf) }()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var resp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = client.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("pprof listener never came up: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = client.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("service listener exposes /debug/pprof — it must stay on the debug listener only")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v, want clean drain", err)
+	}
+	if !strings.Contains(logBuf.String(), "pprof on") {
+		t.Errorf("log = %q, want pprof startup line", logBuf.String())
+	}
+}
+
 // syncWriter serializes writes: run's log writer is shared between
 // the access log and the lifecycle messages.
 type syncWriter struct {

@@ -1,0 +1,57 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the command-line tools. It is a thin veneer over runtime/pprof
+// with the error handling and GC discipline the pprof docs prescribe:
+// the CPU profile brackets the whole run, and the heap profile is
+// written after a forced GC so it reflects live steady-state memory
+// rather than garbage awaiting collection.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (if non-empty). The stop function is safe to call exactly
+// once, normally via defer; it reports any profile-writing failure so
+// callers can surface it on stderr without aborting the run's real
+// output.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("close mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

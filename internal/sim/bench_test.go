@@ -1,0 +1,111 @@
+package sim_test
+
+// Micro-benchmarks of the broadcast engine's hot path: one sim.Run on
+// each canonical 512-node topology with the paper's protocol, plus the
+// repair-heavy (flooding), lossy-channel and failed-node variants the
+// Monte Carlo engine replays thousands of times. These are the
+// benchstat units `make benchstat` compares against bench/baseline.txt
+// (pinned before the slot-scheduler/arena/relay-plan overhaul). Run:
+//
+//	go test ./internal/sim -bench=Engine -benchmem -run=^$
+
+import (
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// center returns the canonical center source of a mesh, matching the
+// wsnmc default.
+func center(t grid.Topology) grid.Coord {
+	m, n, l := t.Size()
+	return grid.C3((m+1)/2, (n+1)/2, (l+1)/2)
+}
+
+// BenchmarkEngine measures one paper-protocol broadcast on each
+// canonical 512-node topology.
+func BenchmarkEngine(b *testing.B) {
+	for _, k := range grid.Kinds() {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			topo := grid.Canonical(k)
+			proto := core.ForTopology(k)
+			src := center(topo)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(topo, proto, src, sim.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFlooding measures the repair-heavy path: blind
+// flooding on the canonical 2D-4 mesh collides massively and drives
+// the scheduler through many replay rounds.
+func BenchmarkEngineFlooding(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	proto := core.NewFlooding()
+	src := center(topo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(topo, proto, src, sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineLossy measures the stochastic-channel path the Monte
+// Carlo engine replays per replication: canonical 2D-4, 10% loss.
+func BenchmarkEngineLossy(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	proto := core.ForTopology(grid.Mesh2D4)
+	src := center(topo)
+	cfg := sim.Config{Channel: sim.NewBernoulliLoss(42, 0.1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(topo, proto, src, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDown measures the failed-node path (private mutable
+// adjacency): canonical 2D-4 with 5% sampled failures.
+func BenchmarkEngineDown(b *testing.B) {
+	topo := grid.Canonical(grid.Mesh2D4)
+	proto := core.ForTopology(grid.Mesh2D4)
+	src := center(topo)
+	cfg := sim.Config{Down: sim.SampleFailures(topo, src, 7, 0.05)}
+	if len(cfg.Down) == 0 {
+		b.Fatal("no sampled failures")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(topo, proto, src, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSmall measures a small mesh where fixed per-Run setup
+// cost dominates over per-slot work.
+func BenchmarkEngineSmall(b *testing.B) {
+	topo := grid.NewMesh2D4(8, 8)
+	proto := core.ForTopology(grid.Mesh2D4)
+	src := center(topo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(topo, proto, src, sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"wsnbcast/internal/grid"
@@ -76,6 +75,13 @@ type injection struct {
 // a fixpoint — the paper's premise that the topology is fixed and
 // collisions predictable, applied mechanically. Every repair
 // transmission is counted in Result.Repairs.
+//
+// Run is the optimized engine: a slot-indexed array schedule (no
+// hashing on the hot path), a pooled scratch arena reset — not
+// reallocated — across repair-replay rounds and reused across runs,
+// and a memoized relay plan replacing the per-decode Protocol
+// interface calls. RunReference preserves the original implementation;
+// the differential tests prove the two produce byte-identical Results.
 func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, error) {
 	if !t.Contains(src) {
 		return nil, fmt.Errorf("sim: source %s outside %s mesh", src, t.Kind())
@@ -99,7 +105,8 @@ func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, erro
 	}
 	adj := buildAdjacency(t, down != nil)
 	if down != nil {
-		// Remove the down nodes from the radio graph entirely.
+		// Remove the down nodes from the radio graph entirely (adj is a
+		// private copy when down != nil).
 		for i := range adj {
 			if down[i] {
 				adj[i] = nil
@@ -115,11 +122,13 @@ func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, erro
 		}
 	}
 
+	e := getEngine(t, p, planFor(t, p, src), src, cfg, adj, down)
+	defer e.release()
+
 	var inj []injection
-	var e *engine
 	for round := 0; ; round++ {
-		e = newEngine(t, p, src, cfg, adj, down, inj)
-		if err := e.run(); err != nil {
+		e.reset(inj)
+		if err := e.drain(); err != nil {
 			return nil, err
 		}
 		if cfg.DisableRepair || !e.anyMissing() {
@@ -132,14 +141,13 @@ func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, erro
 			}
 			break
 		}
-		added := e.planInjections(&inj)
-		if added == 0 {
+		if e.planInjections(&inj) == 0 {
 			break // unreached nodes are disconnected from the source
 		}
 	}
-	e.finish()
+	res := e.finish()
 	e.flushTrace()
-	return e.res, nil
+	return res, nil
 }
 
 // adjCache memoizes dense adjacency for the regular topologies, which
@@ -155,21 +163,24 @@ type adjKey struct {
 // buildAdjacency returns dense neighbor lists, cached for the regular
 // topologies. Callers treat the result as read-only except when they
 // need to mutate it (node failures), in which case they must pass
-// mutable=true to get a private copy.
+// mutable=true to get a private copy — taken from the cached entry
+// (populating it on first use) rather than rebuilt from the topology.
 func buildAdjacency(t grid.Topology, mutable bool) [][]int32 {
+	if t.Kind() == grid.Irregular {
+		return buildAdjacencyUncached(t)
+	}
 	m, n, l := t.Size()
 	key := adjKey{t.Kind(), m, n, l}
-	cacheable := t.Kind() != grid.Irregular
-	if cacheable && !mutable {
-		if v, ok := adjCache.Load(key); ok {
-			return v.([][]int32)
-		}
+	v, ok := adjCache.Load(key)
+	if !ok {
+		// Concurrent first access may build twice; LoadOrStore keeps one.
+		v, _ = adjCache.LoadOrStore(key, buildAdjacencyUncached(t))
 	}
-	adj := buildAdjacencyUncached(t)
-	if cacheable && !mutable {
-		adjCache.Store(key, adj)
+	adj := v.([][]int32)
+	if !mutable {
+		return adj
 	}
-	return adj
+	return copyAdjacency(adj)
 }
 
 func buildAdjacencyUncached(t grid.Topology) [][]int32 {
@@ -187,91 +198,170 @@ func buildAdjacencyUncached(t grid.Topology) [][]int32 {
 	return adj
 }
 
-// engine holds the mutable state of one schedule replay.
+// copyAdjacency deep-copies neighbor lists into one flat backing array
+// (two allocations regardless of node count). Rows are capacity-capped
+// so in-place pruning of one row cannot clobber the next.
+func copyAdjacency(adj [][]int32) [][]int32 {
+	total := 0
+	for _, row := range adj {
+		total += len(row)
+	}
+	flat := make([]int32, 0, total)
+	out := make([][]int32, len(adj))
+	for i, row := range adj {
+		flat = append(flat, row...)
+		out[i] = flat[len(flat)-len(row) : len(flat) : len(flat)]
+	}
+	return out
+}
+
+// engine holds the mutable state of one schedule replay. Engines are
+// pooled (enginePool): all scratch state — decode/heard/hit vectors,
+// per-node transmission logs, the slot queues, the trace buffer — is
+// sized once and reset, not reallocated, across the repair-replay
+// rounds of one Run and across the thousands of Runs of a sweep or
+// Monte Carlo grid. Only the slices that escape into the Result are
+// freshly allocated, in finish.
 type engine struct {
-	topo  grid.Topology
-	proto Protocol
-	src   grid.Coord
-	cfg   Config
+	// Per-Run bindings, cleared on release so the pool pins nothing.
+	topo   grid.Topology
+	proto  Protocol
+	plan   *relayPlan
+	src    grid.Coord
+	srcIdx int32
+	cfg    Config
+	nbr    [][]int32 // dense adjacency (down nodes removed)
+	down   []bool    // failed nodes (nil when none)
 
-	nbr     [][]int32 // dense adjacency (down nodes removed)
-	down    []bool    // failed nodes (nil when none)
-	decode  []int     // first-decode slot, -1 never; source 0
-	txSlots [][]int
-	heard   []int // receptions per node
-	hit     []int // scratch: transmitters heard this slot
+	// Arena state, capacity retained across Runs.
+	decode     []int // first-decode slot, -1 never; source 0
+	heard      []int // receptions per node
+	hit        []int // scratch: transmitters heard this slot
+	txSlots    [][]int
+	touched    []int32   // scratch: receivers hit this slot
+	pending    slotQueue // protocol-scheduled transmissions
+	inject     slotQueue // planned repair transmissions
+	injScratch []int32   // scratch txs for injection-only slots
+	traceBuf   []Event
 
-	touched     []int32         // scratch: receivers hit this slot
-	pending     map[int][]int32 // slot -> scheduled transmitters
-	injAt       map[int][]int32 // slot -> injected repair transmitters
 	outstanding int
 	maxSched    int // highest slot with scheduled activity so far
 	last        int // highest slot processed with activity
-
-	traceBuf []Event
-	res      *Result
+	res         Result
 }
 
-func newEngine(t grid.Topology, p Protocol, src grid.Coord, cfg Config, adj [][]int32, down []bool, inj []injection) *engine {
-	v := t.NumNodes()
-	e := &engine{
-		down:    down,
-		topo:    t,
-		proto:   p,
-		src:     src,
-		cfg:     cfg,
-		nbr:     adj,
-		decode:  make([]int, v),
-		txSlots: make([][]int, v),
-		heard:   make([]int, v),
-		hit:     make([]int, v),
-		pending: make(map[int][]int32),
-		injAt:   make(map[int][]int32),
-		res: &Result{
-			Kind:     t.Kind(),
-			Source:   src,
-			Protocol: p.Name(),
-			Total:    v,
-		},
-	}
-	for i := range e.decode {
-		e.decode[i] = -1
-	}
-	for i := range down {
-		if down[i] {
-			e.res.Down++
-		}
-	}
-	e.res.Total = v - e.res.Down
-	srcIdx := t.Index(src)
-	e.decode[srcIdx] = 0
-	e.res.Reached = 1
-	e.schedule(SourceTx, int32(srcIdx))
-	for _, off := range p.Retransmits(t, src, src) {
-		if off >= 1 {
-			e.schedule(SourceTx+off, int32(srcIdx))
-		}
-	}
-	for _, in := range inj {
-		e.injAt[in.slot] = append(e.injAt[in.slot], in.node)
-		e.outstanding++
-		if in.slot > e.maxSched {
-			e.maxSched = in.slot
-		}
-	}
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+// getEngine binds a pooled engine to one Run.
+func getEngine(t grid.Topology, p Protocol, plan *relayPlan, src grid.Coord, cfg Config, adj [][]int32, down []bool) *engine {
+	e := enginePool.Get().(*engine)
+	e.topo = t
+	e.proto = p
+	e.plan = plan
+	e.src = src
+	e.srcIdx = int32(t.Index(src))
+	e.cfg = cfg
+	e.nbr = adj
+	e.down = down
+	e.sizeTo(t.NumNodes())
 	return e
 }
 
+// release clears the per-Run references and returns the engine to the
+// pool. The arena keeps its capacity; everything that escaped into the
+// Result was copied out by finish.
+func (e *engine) release() {
+	e.topo = nil
+	e.proto = nil
+	e.plan = nil
+	e.cfg = Config{} // drops the Trace func, Channel and Down list
+	e.nbr = nil
+	e.down = nil
+	enginePool.Put(e)
+}
+
+// sizeTo (re)dimensions the per-node vectors for v nodes, retaining
+// capacity when possible.
+func (e *engine) sizeTo(v int) {
+	if cap(e.decode) < v {
+		e.decode = make([]int, v)
+		e.heard = make([]int, v)
+		e.hit = make([]int, v)
+		e.txSlots = make([][]int, v)
+	}
+	e.decode = e.decode[:v]
+	e.heard = e.heard[:v]
+	e.hit = e.hit[:v]
+	e.txSlots = e.txSlots[:v]
+}
+
+// reset rewinds the engine to the start of a schedule replay: clears
+// the arena, seeds the source's transmissions, and loads the planned
+// repair injections. Equivalent to the reference engine constructing a
+// fresh state per round, without the allocations.
+func (e *engine) reset(inj []injection) {
+	for i := range e.decode {
+		e.decode[i] = -1
+	}
+	clear(e.heard)
+	clear(e.hit)
+	for i := range e.txSlots {
+		e.txSlots[i] = e.txSlots[i][:0]
+	}
+	e.touched = e.touched[:0]
+	e.pending.reset()
+	e.inject.reset()
+	e.traceBuf = e.traceBuf[:0]
+	e.outstanding, e.maxSched, e.last = 0, 0, 0
+
+	e.res = Result{
+		Kind:     e.topo.Kind(),
+		Source:   e.src,
+		Protocol: e.proto.Name(),
+	}
+	for _, d := range e.down {
+		if d {
+			e.res.Down++
+		}
+	}
+	e.res.Total = len(e.decode) - e.res.Down
+	e.decode[e.srcIdx] = 0
+	e.res.Reached = 1
+	e.schedule(SourceTx, e.srcIdx)
+	for _, off := range e.plan.retransmits(e.srcIdx) {
+		e.schedule(SourceTx+off, e.srcIdx)
+	}
+	for _, in := range inj {
+		e.injectAt(in.slot, in.node)
+	}
+}
+
+// schedule books a protocol transmission. Slots beyond MaxSlots are
+// counted but not stored: drain's runaway guard trips before any such
+// slot could be processed, so the bucket array stays bounded.
 func (e *engine) schedule(slot int, node int32) {
-	e.pending[slot] = append(e.pending[slot], node)
 	e.outstanding++
 	if slot > e.maxSched {
 		e.maxSched = slot
 	}
+	if slot > e.cfg.MaxSlots {
+		return
+	}
+	e.pending.add(slot, node)
 }
 
-// run processes the whole schedule.
-func (e *engine) run() error { return e.drain() }
+// injectAt books a planned repair transmission, same clamping as
+// schedule.
+func (e *engine) injectAt(slot int, node int32) {
+	e.outstanding++
+	if slot > e.maxSched {
+		e.maxSched = slot
+	}
+	if slot > e.cfg.MaxSlots {
+		return
+	}
+	e.inject.add(slot, node)
+}
 
 // drain processes slots in order until no transmissions remain
 // scheduled.
@@ -282,22 +372,32 @@ func (e *engine) drain() error {
 			return fmt.Errorf("sim: %s/%s exceeded %d slots (runaway schedule)",
 				e.proto.Name(), e.topo.Kind(), e.cfg.MaxSlots)
 		}
-		txs, ok := e.pending[slot]
-		injs, okInj := e.injAt[slot]
-		if !ok && !okInj {
+		txs := e.pending.take(slot)
+		injs := e.inject.take(slot)
+		if txs == nil && injs == nil {
 			slot++
 			continue
 		}
-		delete(e.pending, slot)
-		delete(e.injAt, slot)
 		e.outstanding -= len(txs) + len(injs)
-		// An injection fires only if its node decoded in an earlier
-		// slot: replays may shift decode times and invalidate it.
-		for _, v := range injs {
-			if d := e.decode[v]; d >= 0 && d < slot {
-				txs = append(txs, v)
-				e.res.Repairs++
-				e.emit(Event{Slot: slot, Kind: EventRepair, Node: e.topo.At(int(v))})
+		if injs != nil {
+			fromScratch := false
+			if txs == nil {
+				txs = e.injScratch[:0]
+				fromScratch = true
+			}
+			// An injection fires only if its node decoded in an earlier
+			// slot: replays may shift decode times and invalidate it.
+			for _, v := range injs {
+				if d := e.decode[v]; d >= 0 && d < slot {
+					txs = append(txs, v)
+					e.res.Repairs++
+					if e.cfg.Trace != nil {
+						e.emit(Event{Slot: slot, Kind: EventRepair, Node: e.topo.At(int(v))})
+					}
+				}
+			}
+			if fromScratch {
+				e.injScratch = txs // retain grown capacity
 			}
 		}
 		if len(txs) == 0 {
@@ -312,30 +412,23 @@ func (e *engine) drain() error {
 	return nil
 }
 
-// dedupe sorts and removes duplicate transmitters (a node transmits at
-// most once per slot even if scheduled twice).
-func dedupe(txs []int32) []int32 {
-	sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
-	out := txs[:0]
-	for i, v := range txs {
-		if i == 0 || v != txs[i-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
 // step executes one slot with the given transmitters.
 func (e *engine) step(slot int, txs []int32) {
+	tracing := e.cfg.Trace != nil
+	ch := e.cfg.Channel
 	touched := e.touched[:0]
 	for _, tx := range txs {
 		e.txSlots[tx] = append(e.txSlots[tx], slot)
 		e.res.Tx++
-		e.emit(Event{Slot: slot, Kind: EventTx, Node: e.topo.At(int(tx))})
+		if tracing {
+			e.emit(Event{Slot: slot, Kind: EventTx, Node: e.topo.At(int(tx))})
+		}
 		for _, nb := range e.nbr[tx] {
-			if e.cfg.Channel != nil && !e.cfg.Channel.Deliver(slot, tx, nb) {
+			if ch != nil && !ch.Deliver(slot, tx, nb) {
 				e.res.Lost++
-				e.emit(Event{Slot: slot, Kind: EventLost, Node: e.topo.At(int(nb))})
+				if tracing {
+					e.emit(Event{Slot: slot, Kind: EventLost, Node: e.topo.At(int(nb))})
+				}
 				continue
 			}
 			e.heard[nb]++
@@ -352,29 +445,31 @@ func (e *engine) step(slot int, txs []int32) {
 		e.hit[nb] = 0
 		if n >= 2 {
 			e.res.Collisions++
-			e.emit(Event{Slot: slot, Kind: EventCollision, Node: e.topo.At(int(nb))})
+			if tracing {
+				e.emit(Event{Slot: slot, Kind: EventCollision, Node: e.topo.At(int(nb))})
+			}
 			continue
 		}
 		if e.decode[nb] >= 0 {
 			e.res.Duplicates++
-			e.emit(Event{Slot: slot, Kind: EventDuplicate, Node: e.topo.At(int(nb))})
+			if tracing {
+				e.emit(Event{Slot: slot, Kind: EventDuplicate, Node: e.topo.At(int(nb))})
+			}
 			continue
 		}
 		e.decode[nb] = slot
 		e.res.Reached++
-		c := e.topo.At(int(nb))
-		e.emit(Event{Slot: slot, Kind: EventDecode, Node: c})
-		if e.proto.IsRelay(e.topo, e.src, c) {
-			d := e.proto.TxDelay(e.topo, e.src, c)
-			if d < 1 {
-				d = 1
-			}
-			first := slot + d
+		if tracing {
+			e.emit(Event{Slot: slot, Kind: EventDecode, Node: e.topo.At(int(nb))})
+		}
+		// The compiled relay plan answers IsRelay/TxDelay/Retransmits
+		// with array lookups; delays are pre-clamped and offsets
+		// pre-filtered to >= 1 at compile time.
+		if e.plan.relay[nb] {
+			first := slot + e.plan.delay[nb]
 			e.schedule(first, nb)
-			for _, off := range e.proto.Retransmits(e.topo, e.src, c) {
-				if off >= 1 {
-					e.schedule(first+off, nb)
-				}
+			for _, off := range e.plan.retransmits(nb) {
+				e.schedule(first+off, nb)
 			}
 		}
 	}
@@ -506,12 +601,7 @@ func (e *engine) appendRepair() error {
 		if donor < 0 {
 			return nil // disconnected topology: nothing more to do
 		}
-		slot := e.last + 1
-		e.injAt[slot] = append(e.injAt[slot], donor)
-		e.outstanding++
-		if slot > e.maxSched {
-			e.maxSched = slot
-		}
+		e.injectAt(e.last+1, donor)
 		if err := e.drain(); err != nil {
 			return err
 		}
@@ -519,10 +609,14 @@ func (e *engine) appendRepair() error {
 	return nil
 }
 
-// finish computes the derived metrics.
-func (e *engine) finish() {
-	r := e.res
-	srcIdx := e.topo.Index(e.src)
+// finish computes the derived metrics into a fresh Result. Only what
+// escapes is allocated: the Result itself, the DecodeSlot copy, the
+// TxSlots headers plus one flat backing array, and PerNodeEnergyJ —
+// the arena stays with the pooled engine.
+func (e *engine) finish() *Result {
+	r := new(Result)
+	*r = e.res
+	srcIdx := int(e.srcIdx)
 	for i, d := range e.decode {
 		if i != srcIdx && d > r.Delay {
 			r.Delay = d
@@ -533,16 +627,29 @@ func (e *engine) finish() {
 	// Sized by dense node index (down nodes hold 0), not by live
 	// count: consumers like the energy heatmap index it by t.Index.
 	r.PerNodeEnergyJ = make([]float64, len(e.txSlots))
+	totalTx := 0
 	for i := range r.PerNodeEnergyJ {
-		r.PerNodeEnergyJ[i] = float64(len(e.txSlots[i]))*etx + float64(e.heard[i])*erx
+		n := len(e.txSlots[i])
+		totalTx += n
+		r.PerNodeEnergyJ[i] = float64(n)*etx + float64(e.heard[i])*erx
 	}
+	r.TxSlots = make([][]int, len(e.txSlots))
+	flat := make([]int, 0, totalTx)
+	for i, s := range e.txSlots {
+		if len(s) == 0 {
+			continue // keep nil rows nil, like the per-round engine did
+		}
+		flat = append(flat, s...)
+		r.TxSlots[i] = flat[len(flat)-len(s) : len(flat) : len(flat)]
+	}
+	r.DecodeSlot = make([]int, len(e.decode))
+	copy(r.DecodeSlot, e.decode)
 	ledger := radio.NewLedger(e.cfg.Model, e.cfg.Packet)
 	ledger.AddTx(r.Tx)
 	ledger.AddRx(r.Rx)
 	r.EnergyJ = ledger.TotalJ()
-	r.DecodeSlot = e.decode
-	r.TxSlots = e.txSlots
 	r.downMask = e.down
+	return r
 }
 
 func (e *engine) emit(ev Event) {

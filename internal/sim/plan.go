@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+
+	"wsnbcast/internal/grid"
+)
+
+// A relayPlan is the compiled form of a Protocol on one (topology,
+// source): the per-node answers of IsRelay, TxDelay (clamped to >= 1)
+// and Retransmits (offsets < 1 dropped), which the Protocol interface
+// documents as pure functions of (topology, source, node). The engine
+// consults the plan on every decode, turning three interface calls —
+// and whatever slice Retransmits allocates — into array lookups. A
+// plan is built once per Run and, for cacheable keys, shared read-only
+// across every Run of the same (kind, size, protocol, source), exactly
+// like adjCache shares adjacency: across the thousands of runs of a
+// sweep or a Monte Carlo grid the rules are compiled exactly once.
+type relayPlan struct {
+	relay []bool
+	delay []int // first tx = decode slot + delay[i]; valid when relay[i]
+	// retr holds every node's retransmission offsets concatenated;
+	// node i's are retr[retrIdx[i]:retrIdx[i+1]]. The source's entry is
+	// populated even when the source is not a relay (the engine
+	// schedules source retransmissions unconditionally).
+	retr    []int
+	retrIdx []int32
+}
+
+// retransmits returns node i's retransmission offsets (already
+// filtered to >= 1).
+func (pl *relayPlan) retransmits(i int32) []int {
+	return pl.retr[pl.retrIdx[i]:pl.retrIdx[i+1]]
+}
+
+// planKey identifies a cached relay plan. The protocol value itself is
+// part of the key (dynamic type and value both participate in
+// equality), so two configurations of one protocol type — say
+// different gossip probabilities — never share a plan.
+type planKey struct {
+	kind    grid.Kind
+	m, n, l int
+	src     int // dense source index
+	proto   Protocol
+}
+
+// planCache memoizes compiled relay plans, keyed like adjCache. Only
+// regular topologies qualify (an Irregular mesh is not determined by
+// its kind and size), and only protocols whose dynamic type is a
+// comparable non-pointer value: comparability is required to form the
+// key at all, and pointer identity is excluded so short-lived protocol
+// instances (e.g. snapshots) cannot grow the cache without bound.
+var planCache sync.Map // planKey -> *relayPlan
+
+// planCacheable reports whether p can participate in a planKey.
+func planCacheable(p Protocol) bool {
+	t := reflect.TypeOf(p)
+	return t != nil && t.Kind() != reflect.Pointer && t.Comparable()
+}
+
+// planFor returns the compiled relay plan for (t, p, src), from the
+// cache when the key qualifies.
+func planFor(t grid.Topology, p Protocol, src grid.Coord) *relayPlan {
+	srcIdx := t.Index(src)
+	if t.Kind() == grid.Irregular || !planCacheable(p) {
+		return compilePlan(t, p, src, srcIdx)
+	}
+	m, n, l := t.Size()
+	key := planKey{kind: t.Kind(), m: m, n: n, l: l, src: srcIdx, proto: p}
+	if v, ok := planCache.Load(key); ok {
+		return v.(*relayPlan)
+	}
+	// Concurrent first access may compile twice; LoadOrStore keeps one.
+	v, _ := planCache.LoadOrStore(key, compilePlan(t, p, src, srcIdx))
+	return v.(*relayPlan)
+}
+
+// compilePlan evaluates the protocol's rules for every node. The call
+// pattern matches the engine's: TxDelay and Retransmits are consulted
+// only for relays, plus Retransmits for the source (scheduled
+// unconditionally at startup).
+func compilePlan(t grid.Topology, p Protocol, src grid.Coord, srcIdx int) *relayPlan {
+	v := t.NumNodes()
+	pl := &relayPlan{
+		relay:   make([]bool, v),
+		delay:   make([]int, v),
+		retrIdx: make([]int32, v+1),
+	}
+	for i := 0; i < v; i++ {
+		c := t.At(i)
+		var offs []int
+		if p.IsRelay(t, src, c) {
+			pl.relay[i] = true
+			d := p.TxDelay(t, src, c)
+			if d < 1 {
+				d = 1
+			}
+			pl.delay[i] = d
+			offs = p.Retransmits(t, src, c)
+		} else if i == srcIdx {
+			offs = p.Retransmits(t, src, c)
+		}
+		for _, off := range offs {
+			if off >= 1 {
+				pl.retr = append(pl.retr, off)
+			}
+		}
+		pl.retrIdx[i+1] = int32(len(pl.retr))
+	}
+	return pl
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package sim_test
+
+// raceEnabled reports whether this test binary was built with -race.
+const raceEnabled = false

@@ -8,16 +8,17 @@ package sweep_test
 //     interface documents it) — shared freely across workers;
 //  2. core protocol values are stateless node-local rules — shared
 //     freely across workers;
-//  3. sim.Run's only shared structure, the adjacency cache, is a
-//     sync.Map populated once per (kind, size) — concurrent first
-//     access on a cold key must be safe.
+//  3. sim.Run's shared structures — the adjacency cache and the
+//     compiled relay-plan cache, both sync.Maps populated once per
+//     key — must be safe under concurrent first access on a cold key.
 //
 // The meshes here use deliberately odd sizes so every run of the test
-// binary starts with a cold adjacency-cache key and the build race
-// (claim 3) is actually exercised, not skipped via a warm cache.
+// binary starts with cold cache keys and the build races (claim 3) are
+// actually exercised, not skipped via a warm cache.
 
 import (
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -106,4 +107,51 @@ func TestColdAdjacencyCacheRace(t *testing.T) {
 	}
 	close(start)
 	wg.Wait()
+}
+
+// TestColdRelayPlanCacheRace hammers the compiled relay-plan cache
+// alongside the adjacency cache: a parallel sweep on a cold topology
+// size hits every source's plan key for the first time from whichever
+// worker gets there first, with overlapping single runs adding more
+// first-access pressure on the same keys plus a second protocol. Every
+// worker count must also produce the same results (the plan is pure
+// compilation, never mutated after publication).
+func TestColdRelayPlanCacheRace(t *testing.T) {
+	topo := grid.NewMesh2D4(13, 5) // size unused elsewhere: cold keys
+	proto := core.NewMesh4Protocol()
+	var wg sync.WaitGroup
+	var sweeps [2][]*sim.Result
+	for g := range sweeps {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := sweep.New(4).SweepSources(context.Background(), topo, proto, sim.Config{}, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sweeps[g] = s
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		src := topo.At((g * 7) % topo.NumNodes())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sim.Run(topo, proto, src, sim.Config{}); err != nil {
+				t.Error(err)
+			}
+			if _, err := sim.Run(topo, core.NewJitteredFlooding(8), src, sim.Config{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if !reflect.DeepEqual(sweeps[0], sweeps[1]) {
+		t.Error("concurrent sweeps over shared plan cache disagree")
+	}
 }

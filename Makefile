@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-json benchstat vet verify golden cover
+.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify golden cover
 
 all: verify
 
@@ -34,9 +34,19 @@ bench:
 # suite in the identical shape so benchstat and benchjson can pair the
 # rows up.
 bench-engine:
-	$(GO) test ./internal/sim -run='^$$' -bench=. -benchmem | tee bench/current.txt
+	$(GO) test ./internal/sim -run='^$$' -bench='^BenchmarkEngine' -benchmem | tee bench/current.txt
 	$(GO) test ./internal/mc -run='^$$' -bench=. -benchmem | tee -a bench/current.txt
 	$(GO) test ./internal/sweep -run='^$$' -bench=. -benchmem -benchtime=2x | tee -a bench/current.txt
+
+# Large-grid scaling suite (64^2 to 1024^2 plus 128^3): the implicit
+# fast path at Workers=1 and auto, the forced materialized path, the
+# preserved reference engine, and the engine-loop-only measurement that
+# isolates steady-state arena allocation from the Result arrays. Low
+# fixed iteration count — single iterations of the biggest meshes are
+# already statistically quiet, and the materialized 128^3 run costs
+# seconds per op.
+bench-scale:
+	$(GO) test ./internal/sim -run='^$$' -bench='^BenchmarkScale' -benchmem -benchtime=3x | tee bench/scale.txt
 
 # Machine-readable before/after record. CI regenerates BENCH_sim.json
 # on every run and uploads it as an artifact.

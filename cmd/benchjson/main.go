@@ -1,30 +1,38 @@
 // Command benchjson merges two `go test -bench -benchmem` text outputs
-// — a pinned baseline and a current run — into one machine-readable
-// JSON document of before/after pairs with computed speedups. The
-// Makefile's bench-json target uses it to produce BENCH_sim.json, the
-// committed perf record for the engine overhaul; CI regenerates and
-// uploads the same document as a build artifact.
+// — a pinned baseline and a current run — into a machine-readable
+// record of before/after pairs with computed speedups, and appends it
+// as a dated snapshot to a history document. The Makefile's bench-json
+// target uses it to maintain BENCH_sim.json, the committed perf record
+// for the engine work: each invocation adds one entry to the history
+// array instead of overwriting the document, so the measurement
+// trajectory across PRs stays reviewable. CI regenerates and uploads
+// the same document as a build artifact.
 //
 // Usage:
 //
 //	benchjson -before bench/baseline.txt -after /tmp/bench.txt -o BENCH_sim.json
 //
-// Benchmarks present in only one input appear with the other side
-// null, so a renamed or newly added benchmark is visible rather than
-// silently dropped.
+// A pre-history BENCH_sim.json (a single {baseline, units, results}
+// snapshot) is converted in place: the old snapshot becomes the first
+// history entry. Benchmarks present in only one input appear with the
+// other side null, so a renamed or newly added benchmark is visible
+// rather than silently dropped.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // metrics is one side of a before/after pair.
@@ -130,67 +138,127 @@ func round2(v float64) float64 {
 	return float64(int64(v*100+0.5)) / 100
 }
 
-func run(beforePath, afterPath string, w io.Writer) error {
+// snapshot is one dated measurement: a full before/after merge.
+type snapshot struct {
+	Date     string            `json:"date,omitempty"`
+	Baseline string            `json:"baseline"`
+	Units    map[string]string `json:"units"`
+	Results  []entry           `json:"results"`
+}
+
+// document is the history file layout.
+type document struct {
+	History []snapshot `json:"history"`
+}
+
+// loadHistory reads the existing output file, if any. A legacy
+// single-snapshot file (the pre-history {baseline, units, results}
+// layout, no date) is wrapped as the first history entry so nothing
+// measured before the format change is lost.
+func loadHistory(path string) ([]snapshot, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err == nil && doc.History != nil {
+		return doc.History, nil
+	}
+	var legacy snapshot
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Results) > 0 {
+		return []snapshot{legacy}, nil
+	}
+	return nil, fmt.Errorf("%s exists but is neither a history document nor a legacy snapshot", path)
+}
+
+// buildSnapshot parses and merges one before/after pair.
+func buildSnapshot(beforePath, afterPath, date string) (snapshot, error) {
+	var snap snapshot
 	bf, err := os.Open(beforePath)
 	if err != nil {
-		return err
+		return snap, err
 	}
 	defer bf.Close()
 	af, err := os.Open(afterPath)
 	if err != nil {
-		return err
+		return snap, err
 	}
 	defer af.Close()
 
 	before, pkgsB, err := parseBench(bf)
 	if err != nil {
-		return fmt.Errorf("parse %s: %w", beforePath, err)
+		return snap, fmt.Errorf("parse %s: %w", beforePath, err)
 	}
 	after, pkgsA, err := parseBench(af)
 	if err != nil {
-		return fmt.Errorf("parse %s: %w", afterPath, err)
+		return snap, fmt.Errorf("parse %s: %w", afterPath, err)
 	}
 	if len(before) == 0 {
-		return fmt.Errorf("%s contains no benchmark results", beforePath)
+		return snap, fmt.Errorf("%s contains no benchmark results", beforePath)
 	}
 	if len(after) == 0 {
-		return fmt.Errorf("%s contains no benchmark results", afterPath)
+		return snap, fmt.Errorf("%s contains no benchmark results", afterPath)
 	}
 	for k, p := range pkgsB {
 		if _, ok := pkgsA[k]; !ok {
 			pkgsA[k] = p
 		}
 	}
-	enc := json.NewEncoder(w)
+	return snapshot{
+		Date:     date,
+		Baseline: beforePath,
+		Units:    map[string]string{"ns_op": "ns/op", "b_op": "B/op", "allocs_op": "allocs/op"},
+		Results:  merge(before, after, pkgsA),
+	}, nil
+}
+
+// run appends a dated snapshot to outPath's history (creating or
+// converting the file as needed), or writes a one-entry history to w
+// when outPath is empty.
+func run(beforePath, afterPath, outPath, date string, w io.Writer) error {
+	snap, err := buildSnapshot(beforePath, afterPath, date)
+	if err != nil {
+		return err
+	}
+	hist := []snapshot{snap}
+	if outPath != "" {
+		prev, err := loadHistory(outPath)
+		if err != nil {
+			return err
+		}
+		hist = append(prev, snap)
+	}
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	return enc.Encode(map[string]any{
-		"baseline": beforePath,
-		"units":    map[string]string{"ns_op": "ns/op", "b_op": "B/op", "allocs_op": "allocs/op"},
-		"results":  merge(before, after, pkgsA),
-	})
+	if err := enc.Encode(document{History: hist}); err != nil {
+		return err
+	}
+	if outPath == "" {
+		_, err := io.WriteString(w, buf.String())
+		return err
+	}
+	return os.WriteFile(outPath, []byte(buf.String()), 0o644)
 }
 
 func main() {
 	before := flag.String("before", "", "baseline `file` (go test -bench -benchmem output)")
 	after := flag.String("after", "", "current `file` (same format)")
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "history file to append to (default: print a one-entry history to stdout)")
+	date := flag.String("date", "", "snapshot date (default today, YYYY-MM-DD)")
 	flag.Parse()
 	if *before == "" || *after == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -before and -after are required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	if *date == "" {
+		*date = time.Now().Format("2006-01-02")
 	}
-	if err := run(*before, *after, w); err != nil {
+	if err := run(*before, *after, *out, *date, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -105,18 +105,79 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(bp, ap, &buf); err != nil {
+	if err := run(bp, ap, "", "2026-08-06", &buf); err != nil {
 		t.Fatal(err)
 	}
-	var doc struct {
-		Baseline string  `json:"baseline"`
-		Results  []entry `json:"results"`
-	}
+	var doc document
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if doc.Baseline != bp || len(doc.Results) != 5 {
-		t.Errorf("doc = %+v", doc)
+	if len(doc.History) != 1 {
+		t.Fatalf("stdout document has %d history entries, want 1", len(doc.History))
+	}
+	snap := doc.History[0]
+	if snap.Date != "2026-08-06" || snap.Baseline != bp || len(snap.Results) != 5 {
+		t.Errorf("snapshot = date %q baseline %q with %d results", snap.Date, snap.Baseline, len(snap.Results))
+	}
+}
+
+// TestRunAppendsHistory drives the committed-file workflow: a first
+// run creates a one-entry history, a second run appends a second dated
+// entry, and a pre-history legacy snapshot is converted rather than
+// clobbered.
+func TestRunAppendsHistory(t *testing.T) {
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "before.txt")
+	ap := filepath.Join(dir, "after.txt")
+	out := filepath.Join(dir, "BENCH_sim.json")
+	os.WriteFile(bp, []byte(beforeText), 0o644)
+	os.WriteFile(ap, []byte(afterText), 0o644)
+
+	if err := run(bp, ap, out, "2026-08-05", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bp, ap, out, "2026-08-06", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("history file is not valid JSON: %v", err)
+	}
+	if len(doc.History) != 2 || doc.History[0].Date != "2026-08-05" || doc.History[1].Date != "2026-08-06" {
+		t.Fatalf("history entries wrong: %d entries", len(doc.History))
+	}
+
+	// Legacy single-snapshot file: converted, old results preserved.
+	legacy := filepath.Join(dir, "legacy.json")
+	var buf bytes.Buffer
+	if err := run(bp, ap, "", "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var one document
+	json.Unmarshal(buf.Bytes(), &one)
+	legacyBytes, _ := json.Marshal(one.History[0]) // {baseline, units, results}, dateless
+	os.WriteFile(legacy, legacyBytes, 0o644)
+	if err := run(bp, ap, legacy, "2026-08-06", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(legacy)
+	doc = document{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.History) != 2 || len(doc.History[0].Results) != 5 || doc.History[1].Date != "2026-08-06" {
+		t.Fatalf("legacy conversion wrong: %d entries", len(doc.History))
+	}
+
+	// Garbage in the output path must error, not be overwritten.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if err := run(bp, ap, bad, "2026-08-06", nil); err == nil {
+		t.Error("corrupt history file silently overwritten")
 	}
 }
 
@@ -126,10 +187,10 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 	full := filepath.Join(dir, "full.txt")
 	os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644)
 	os.WriteFile(full, []byte(beforeText), 0o644)
-	if err := run(empty, full, &bytes.Buffer{}); err == nil {
+	if err := run(empty, full, "", "", &bytes.Buffer{}); err == nil {
 		t.Error("empty baseline accepted")
 	}
-	if err := run(full, empty, &bytes.Buffer{}); err == nil {
+	if err := run(full, empty, "", "", &bytes.Buffer{}); err == nil {
 		t.Error("empty current run accepted")
 	}
 }

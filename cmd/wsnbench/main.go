@@ -9,6 +9,19 @@
 //	wsnbench -table 3    # just Table 3
 //	wsnbench -ablations  # just the ablations (A1-A4)
 //	wsnbench -extensions # just the extensions (E1-E3)
+//
+// The -scale mode instead runs one large-grid broadcast through the
+// implicit-adjacency engine and reports wall time and memory — the
+// quick way to measure a mesh size on the current machine:
+//
+//	wsnbench -scale -kind 2D-8 -m 1024 -n 1024            # million nodes
+//	wsnbench -scale -kind 3D-6 -m 128 -n 128 -l 128 -runworkers 4
+//
+// -runworkers sets sim.Config.Workers for the run: 0 (default)
+// auto-selects — serial below the engine's large-grid threshold,
+// min(GOMAXPROCS, 8) shard workers above it; 1 pins the serial path;
+// higher values set the shard pool explicitly. Results are
+// byte-identical for every value.
 package main
 
 import (
@@ -27,6 +40,12 @@ func main() {
 	extensions := flag.Bool("extensions", false, "print only the extension tables (E1-E7)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown instead of ASCII boxes")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS); tables are identical for every value")
+	scale := flag.Bool("scale", false, "run one large-grid broadcast instead of the tables")
+	kind := flag.String("kind", "2D-8", "-scale: topology kind (2D-3, 2D-4, 2D-8, 3D-6)")
+	mDim := flag.Int("m", 1024, "-scale: mesh width")
+	nDim := flag.Int("n", 1024, "-scale: mesh height")
+	lDim := flag.Int("l", 1, "-scale: mesh depth (3D-6 only)")
+	runWorkers := flag.Int("runworkers", 0, "-scale: sim.Config.Workers (0 = auto, 1 = serial pin)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -36,7 +55,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wsnbench:", err)
 		os.Exit(1)
 	}
-	runErr := run(*tableN, *ablations, *extensions, *markdown, *workers)
+	var runErr error
+	if *scale {
+		runErr = runScale(*kind, *mDim, *nDim, *lDim, *runWorkers)
+	} else {
+		runErr = run(*tableN, *ablations, *extensions, *markdown, *workers)
+	}
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, "wsnbench:", err)
 	}

@@ -95,3 +95,36 @@ func TestRejectsNegativeWorkers(t *testing.T) {
 		t.Errorf("run(workers=-1) = %v, want -workers validation error", err)
 	}
 }
+
+// TestRunScale exercises the large-grid one-shot mode on a mesh small
+// enough for CI, for both the serial pin and an explicit shard pool.
+func TestRunScale(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		out, err := capture(t, func() error { return runScale("2D-8", 64, 64, 1, workers) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "4096 nodes") || !strings.Contains(out, "reached   4096/4096") {
+			t.Errorf("workers=%d scale output:\n%s", workers, out)
+		}
+	}
+	out, err := capture(t, func() error { return runScale("3D-6", 8, 8, 8, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "512 nodes") {
+		t.Errorf("3D scale output:\n%s", out)
+	}
+}
+
+func TestRunScaleRejectsBadInput(t *testing.T) {
+	if err := runScale("2D-9", 8, 8, 1, 0); err == nil || !strings.Contains(err.Error(), "-kind") {
+		t.Errorf("bad kind: %v", err)
+	}
+	if err := runScale("2D-4", 0, 8, 1, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if err := runScale("2D-4", 8, 8, 3, 0); err == nil || !strings.Contains(err.Error(), "planar") {
+		t.Errorf("planar kind with depth: %v", err)
+	}
+}

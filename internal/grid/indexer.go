@@ -1,0 +1,155 @@
+package grid
+
+// NeighborIndexer is the allocation-free companion of
+// Topology.Neighbors: it emits the dense indices of a node's neighbors
+// straight from lattice arithmetic (or, for Irregular, from the
+// instance's own adjacency), without materializing Coord values. The
+// emission order is exactly the order Topology.Neighbors produces —
+// the simulation engine's byte-identical-results contract depends on
+// it, and the property tests in indexer_test.go pin it for every kind.
+//
+// All topologies constructed by this package implement the interface;
+// it exists as an optional interface so third-party Topology
+// implementations keep working through the materialized fallback.
+type NeighborIndexer interface {
+	// IndexNeighbors appends the dense indices of node i's neighbors to
+	// dst and returns the extended slice. i must be in [0, NumNodes).
+	IndexNeighbors(i int, dst []int32) []int32
+}
+
+// IndexNeighbors appends the dense neighbor indices of node i of t to
+// dst, using the topology's NeighborIndexer when it has one and the
+// generic Neighbors+Index path otherwise. Callers on a hot path should
+// type-assert once and call the interface directly; this helper is for
+// the O(N) sizing and validation paths.
+func IndexNeighbors(t Topology, i int, dst []int32) []int32 {
+	if ix, ok := t.(NeighborIndexer); ok {
+		return ix.IndexNeighbors(i, dst)
+	}
+	for _, nb := range t.Neighbors(t.At(i), nil) {
+		dst = append(dst, int32(t.Index(nb)))
+	}
+	return dst
+}
+
+// The implicit implementations below decompose the dense index with
+// 0-based coordinates (x = i mod m, y = (i div m) mod n, z = i div
+// (m*n)) and emit neighbor indices as +-1 / +-m / +-m*n deltas, in the
+// same order as the corresponding Neighbors method.
+
+// IndexNeighbors implements NeighborIndexer: left, right, then the
+// single parity-selected vertical neighbor (VerticalDown before
+// VerticalUp), matching mesh2d3.Neighbors.
+func (t mesh2d3) IndexNeighbors(i int, dst []int32) []int32 {
+	x, y := i%t.m, i/t.m
+	if x > 0 {
+		dst = append(dst, int32(i-1))
+	}
+	if x < t.m-1 {
+		dst = append(dst, int32(i+1))
+	}
+	// 1-based parity: VerticalUp((x+1, y+1)) == ((x+y) % 2 == 0).
+	if (x+y)%2 != 0 && y > 0 {
+		dst = append(dst, int32(i-t.m))
+	}
+	if (x+y)%2 == 0 && y < t.n-1 {
+		dst = append(dst, int32(i+t.m))
+	}
+	return dst
+}
+
+// IndexNeighbors implements NeighborIndexer in offsets2d4 order:
+// (-1,0), (1,0), (0,-1), (0,1).
+func (t mesh2d4) IndexNeighbors(i int, dst []int32) []int32 {
+	x, y := i%t.m, i/t.m
+	if x > 0 {
+		dst = append(dst, int32(i-1))
+	}
+	if x < t.m-1 {
+		dst = append(dst, int32(i+1))
+	}
+	if y > 0 {
+		dst = append(dst, int32(i-t.m))
+	}
+	if y < t.n-1 {
+		dst = append(dst, int32(i+t.m))
+	}
+	return dst
+}
+
+// IndexNeighbors implements NeighborIndexer in offsets2d8 order: the
+// four axis neighbors, then the four diagonals (-1,-1), (1,-1),
+// (-1,1), (1,1).
+func (t mesh2d8) IndexNeighbors(i int, dst []int32) []int32 {
+	x, y := i%t.m, i/t.m
+	left, right := x > 0, x < t.m-1
+	below, above := y > 0, y < t.n-1
+	if left {
+		dst = append(dst, int32(i-1))
+	}
+	if right {
+		dst = append(dst, int32(i+1))
+	}
+	if below {
+		dst = append(dst, int32(i-t.m))
+	}
+	if above {
+		dst = append(dst, int32(i+t.m))
+	}
+	if left && below {
+		dst = append(dst, int32(i-t.m-1))
+	}
+	if right && below {
+		dst = append(dst, int32(i-t.m+1))
+	}
+	if left && above {
+		dst = append(dst, int32(i+t.m-1))
+	}
+	if right && above {
+		dst = append(dst, int32(i+t.m+1))
+	}
+	return dst
+}
+
+// IndexNeighbors implements NeighborIndexer in offsets3d6 order:
+// (-1,0,0), (1,0,0), (0,-1,0), (0,1,0), (0,0,-1), (0,0,1).
+func (t mesh3d6) IndexNeighbors(i int, dst []int32) []int32 {
+	plane := t.m * t.n
+	z := i / plane
+	r := i % plane
+	x, y := r%t.m, r/t.m
+	if x > 0 {
+		dst = append(dst, int32(i-1))
+	}
+	if x < t.m-1 {
+		dst = append(dst, int32(i+1))
+	}
+	if y > 0 {
+		dst = append(dst, int32(i-t.m))
+	}
+	if y < t.n-1 {
+		dst = append(dst, int32(i+t.m))
+	}
+	if z > 0 {
+		dst = append(dst, int32(i-plane))
+	}
+	if z < t.l-1 {
+		dst = append(dst, int32(i+plane))
+	}
+	return dst
+}
+
+// IndexNeighbors implements NeighborIndexer from the instance's own
+// materialized adjacency — the graph is built once in NewIrregular, so
+// consumers iterating through this method never pay a rebuild.
+func (t *irregular) IndexNeighbors(i int, dst []int32) []int32 {
+	return append(dst, t.adj[i]...)
+}
+
+var (
+	_ NeighborIndexer = mesh2d3{}
+	_ NeighborIndexer = mesh2d4{}
+	_ NeighborIndexer = mesh2d8{}
+	_ NeighborIndexer = mesh3d6{}
+	_ NeighborIndexer = (*irregular)(nil)
+)

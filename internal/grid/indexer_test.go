@@ -1,0 +1,173 @@
+package grid_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wsnbcast/internal/grid"
+)
+
+// opaque hides a topology's NeighborIndexer so tests can exercise the
+// generic Neighbors+Index fallback of grid.IndexNeighbors.
+type opaque struct{ grid.Topology }
+
+// indexNeighborsRef is the specification IndexNeighbors must match:
+// Topology.Neighbors mapped through Index, order preserved.
+func indexNeighborsRef(t grid.Topology, i int) []int32 {
+	out := []int32{}
+	for _, nb := range t.Neighbors(t.At(i), nil) {
+		out = append(out, int32(t.Index(nb)))
+	}
+	return out
+}
+
+// checkAllNodes requires IndexNeighbors == Neighbors+Index, order
+// included, for every node of t.
+func checkAllNodes(t *testing.T, topo grid.Topology) {
+	t.Helper()
+	var buf []int32
+	for i := 0; i < topo.NumNodes(); i++ {
+		want := indexNeighborsRef(topo, i)
+		buf = grid.IndexNeighbors(topo, i, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("node %d (%s): IndexNeighbors len %d, Neighbors len %d\n got %v\nwant %v",
+				i, topo.At(i), len(buf), len(want), buf, want)
+		}
+		for k := range want {
+			if buf[k] != want[k] {
+				t.Fatalf("node %d (%s): IndexNeighbors[%d] = %d, want %d\n got %v\nwant %v",
+					i, topo.At(i), k, buf[k], want[k], buf, want)
+			}
+		}
+	}
+}
+
+// TestIndexNeighborsMatchesNeighbors is the property test of the
+// implicit-adjacency fast path: for every regular kind and a spread of
+// sizes — including degenerate 1xN and Nx1 meshes, and 3D meshes with
+// thin planes — the dense-index emission must equal the Coord-based
+// enumeration exactly, order included. The engine's byte-identical
+// contract between the implicit and materialized paths reduces to this
+// property.
+func TestIndexNeighborsMatchesNeighbors(t *testing.T) {
+	sizes2D := [][2]int{
+		{1, 1}, {1, 2}, {2, 1}, {1, 7}, {7, 1},
+		{2, 2}, {3, 3}, {2, 9}, {9, 2}, {5, 4}, {10, 6}, {32, 16}, {17, 23},
+	}
+	for _, k := range grid.Kinds() {
+		if k == grid.Mesh3D6 {
+			continue
+		}
+		for _, sz := range sizes2D {
+			t.Run(fmt.Sprintf("%s/%dx%d", k, sz[0], sz[1]), func(t *testing.T) {
+				checkAllNodes(t, grid.New(k, sz[0], sz[1], 1))
+			})
+		}
+	}
+	sizes3D := [][3]int{
+		{1, 1, 1}, {1, 1, 5}, {1, 5, 1}, {5, 1, 1},
+		{2, 2, 2}, {3, 4, 5}, {8, 8, 8}, {4, 4, 3}, {7, 3, 2},
+	}
+	for _, sz := range sizes3D {
+		t.Run(fmt.Sprintf("3D-6/%dx%dx%d", sz[0], sz[1], sz[2]), func(t *testing.T) {
+			checkAllNodes(t, grid.NewMesh3D6(sz[0], sz[1], sz[2]))
+		})
+	}
+}
+
+// TestIndexNeighborsRandomizedSizes fuzzes the same property over
+// randomized mesh dimensions with a fixed seed, sampling random nodes
+// on meshes too large for the exhaustive scan.
+func TestIndexNeighborsRandomizedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf []int32
+	for trial := 0; trial < 40; trial++ {
+		m, n := rng.Intn(200)+1, rng.Intn(200)+1
+		l := 1
+		k := grid.Kinds()[rng.Intn(len(grid.Kinds()))]
+		if k == grid.Mesh3D6 {
+			m, n, l = rng.Intn(40)+1, rng.Intn(40)+1, rng.Intn(40)+1
+		}
+		topo := grid.New(k, m, n, l)
+		v := topo.NumNodes()
+		for s := 0; s < 64; s++ {
+			i := rng.Intn(v)
+			want := indexNeighborsRef(topo, i)
+			buf = grid.IndexNeighbors(topo, i, buf[:0])
+			if fmt.Sprint(buf) != fmt.Sprint(want) {
+				t.Fatalf("%s %dx%dx%d node %d: got %v, want %v", k, m, n, l, i, buf, want)
+			}
+		}
+	}
+}
+
+// TestIndexNeighborsCorners pins the border cases explicitly: the four
+// corners and edge midpoints of each 2D kind, and the eight corners
+// plus interior/boundary plane centers of the 3D mesh.
+func TestIndexNeighborsCorners(t *testing.T) {
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		m, n, l := topo.Size()
+		cases := []grid.Coord{
+			grid.C3(1, 1, 1), grid.C3(m, 1, 1), grid.C3(1, n, 1), grid.C3(m, n, 1),
+			grid.C3((m+1)/2, 1, 1), grid.C3(1, (n+1)/2, 1),
+			grid.C3(m, (n+1)/2, 1), grid.C3((m+1)/2, n, 1),
+			grid.C3((m+1)/2, (n+1)/2, 1),
+		}
+		if k == grid.Mesh3D6 {
+			cases = append(cases,
+				grid.C3(1, 1, l), grid.C3(m, 1, l), grid.C3(1, n, l), grid.C3(m, n, l),
+				grid.C3((m+1)/2, (n+1)/2, l),       // top-plane center
+				grid.C3((m+1)/2, (n+1)/2, (l+1)/2), // interior plane center
+			)
+		}
+		var buf []int32
+		for _, c := range cases {
+			i := topo.Index(c)
+			want := indexNeighborsRef(topo, i)
+			buf = grid.IndexNeighbors(topo, i, buf[:0])
+			if fmt.Sprint(buf) != fmt.Sprint(want) {
+				t.Errorf("%s %s: got %v, want %v", k, c, buf, want)
+			}
+		}
+	}
+}
+
+// TestIndexNeighborsIrregular covers the Irregular kind: the indexer
+// must serve the instance's own adjacency, identical to the Coord
+// enumeration.
+func TestIndexNeighborsIrregular(t *testing.T) {
+	topo := grid.NewIrregular(12, 9, 0.3, 1.6, 99)
+	checkAllNodes(t, topo)
+	if _, ok := topo.(grid.NeighborIndexer); !ok {
+		t.Fatalf("Irregular does not implement NeighborIndexer")
+	}
+}
+
+// TestIndexNeighborsFallback exercises the generic path for topologies
+// without a NeighborIndexer.
+func TestIndexNeighborsFallback(t *testing.T) {
+	topo := opaque{grid.NewMesh2D8(6, 5)}
+	if _, ok := interface{}(topo).(grid.NeighborIndexer); ok {
+		t.Fatalf("opaque wrapper unexpectedly exposes NeighborIndexer")
+	}
+	checkAllNodes(t, topo)
+}
+
+// TestIndexNeighborsZeroAlloc proves the regular kinds emit into a
+// caller buffer without allocating.
+func TestIndexNeighborsZeroAlloc(t *testing.T) {
+	for _, k := range grid.Kinds() {
+		topo := grid.Canonical(k)
+		ix := topo.(grid.NeighborIndexer)
+		buf := make([]int32, 0, topo.MaxDegree())
+		mid := topo.NumNodes() / 2
+		allocs := testing.AllocsPerRun(100, func() {
+			buf = ix.IndexNeighbors(mid, buf[:0])
+		})
+		if allocs != 0 {
+			t.Errorf("%s: IndexNeighbors allocates %.1f per call into a sized buffer", k, allocs)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(130)
+	if len(b) != 3 {
+		t.Fatalf("130 bits should take 3 words, got %d", len(b))
+	}
+	for _, i := range []int32{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.get(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.set(i)
+		if !b.get(i) {
+			t.Fatalf("bit %d not set after set", i)
+		}
+	}
+	if b.count() != 8 {
+		t.Fatalf("count = %d, want 8", b.count())
+	}
+	b.sizeToBits(130)
+	if b.count() != 0 {
+		t.Fatalf("sizeToBits did not clear: count = %d", b.count())
+	}
+	b.sizeToBits(1024)
+	if len(b) != 16 || b.count() != 0 {
+		t.Fatalf("grow to 1024 bits: len=%d count=%d", len(b), b.count())
+	}
+}
+
+// TestBitsetNextZero checks the word-skipping scan against a naive
+// reference on randomized patterns, including the all-set and all-clear
+// extremes and out-of-range froms.
+func TestBitsetNextZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := int32(rng.Intn(300) + 1)
+		b := newBitset(int(n))
+		ref := make([]bool, n)
+		density := rng.Float64()
+		for i := int32(0); i < n; i++ {
+			if rng.Float64() < density {
+				b.set(i)
+				ref[i] = true
+			}
+		}
+		for from := int32(0); from <= n+2; from++ {
+			want := n
+			for i := from; i < n; i++ {
+				if !ref[i] {
+					want = i
+					break
+				}
+			}
+			if got := b.nextZero(from, n); got != want {
+				t.Fatalf("n=%d from=%d: nextZero=%d, want %d", n, from, got, want)
+			}
+		}
+	}
+}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
 
 	"wsnbcast/internal/grid"
@@ -40,6 +42,13 @@ type Config struct {
 	// replayed transmission receiving the same verdict. nil is the
 	// error-free channel.
 	Channel Channel
+	// Workers bounds the intra-run worker pool that shards each slot's
+	// transmitter set. 0 (or negative) means auto: serial below the
+	// large-grid node threshold, min(GOMAXPROCS, 8) workers above it.
+	// 1 pins the serial path. The sharded path merges per-shard deltas
+	// in shard order, so the Result — traces included — is
+	// byte-identical for every value; only wall-clock time changes.
+	Workers int
 }
 
 func (c Config) withDefaults(v int) Config {
@@ -56,6 +65,44 @@ func (c Config) withDefaults(v int) Config {
 		c.MaxPlanRounds = 8 + v/4
 	}
 	return c
+}
+
+// Large-grid engine thresholds. Vars, not consts, so the differential
+// tests can force either path at any size; production code never
+// mutates them.
+var (
+	// largeGridNodes is the node count at (and above) which the engine
+	// switches from the cached materialized adjacency of the small-grid
+	// path to implicit neighbor indexing, stops populating the unbounded
+	// (kind, size)-keyed caches, and — under Workers=0 auto — enables
+	// intra-run sharding. 64k nodes materialize only a few hundred KiB
+	// of adjacency; one step further (256k and beyond) the lists reach
+	// tens of MiB and the implicit path wins on both memory and time.
+	largeGridNodes = 1 << 16
+	// parallelMinTxs is the minimum transmitter count in one slot for
+	// the sharded path to engage; below it the per-slot goroutine
+	// handoff costs more than it saves.
+	parallelMinTxs = 128
+	// autoWorkersCap bounds the auto-selected worker count; slot
+	// sharding is memory-bandwidth bound well before 8 workers.
+	autoWorkersCap = 8
+)
+
+// effectiveWorkers resolves Config.Workers for a v-node run.
+func effectiveWorkers(cfgWorkers, v int) int {
+	if cfgWorkers == 1 {
+		return 1
+	}
+	if cfgWorkers > 1 {
+		return cfgWorkers
+	}
+	if v >= largeGridNodes {
+		if w := runtime.GOMAXPROCS(0); w < autoWorkersCap {
+			return w
+		}
+		return autoWorkersCap
+	}
+	return 1
 }
 
 // injection is a repair transmission planned by the scheduler: node
@@ -80,15 +127,42 @@ type injection struct {
 // hashing on the hot path), a pooled scratch arena reset — not
 // reallocated — across repair-replay rounds and reused across runs,
 // and a memoized relay plan replacing the per-decode Protocol
-// interface calls. RunReference preserves the original implementation;
-// the differential tests prove the two produce byte-identical Results.
+// interface calls. Above largeGridNodes (and for every Irregular mesh)
+// it additionally drops the materialized adjacency for implicit
+// neighbor indexing (grid.NeighborIndexer) and, when Config.Workers
+// allows, shards each slot's transmitter set across a bounded worker
+// pool with shard-ordered merges. RunReference preserves the original
+// implementation; the differential tests prove every path produces
+// byte-identical Results.
 func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, error) {
+	e, err := runLoop(t, p, src, cfg)
+	if e != nil {
+		defer e.release()
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := e.finish()
+	e.flushTrace()
+	return res, nil
+}
+
+// runLoop validates the inputs, selects the neighbor source, and
+// drives the schedule/repair loop to completion on a pooled engine.
+// The caller owns the returned engine (finish/flushTrace/release);
+// it is non-nil whenever an engine was bound, error or not.
+func runLoop(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*engine, error) {
 	if !t.Contains(src) {
 		return nil, fmt.Errorf("sim: source %s outside %s mesh", src, t.Kind())
 	}
 	cfg = cfg.withDefaults(t.NumNodes())
 	if err := cfg.Packet.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.MaxSlots >= math.MaxInt32 {
+		// Slot state is int32 (struct-of-arrays arena); a schedule this
+		// long could not be drained slot-by-slot anyway.
+		return nil, fmt.Errorf("sim: MaxSlots %d exceeds the engine's int32 slot limit", cfg.MaxSlots)
 	}
 	var down []bool
 	if len(cfg.Down) > 0 {
@@ -103,33 +177,47 @@ func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, erro
 			return nil, fmt.Errorf("sim: source %s is down", src)
 		}
 	}
-	adj := buildAdjacency(t, down != nil)
-	if down != nil {
-		// Remove the down nodes from the radio graph entirely (adj is a
-		// private copy when down != nil).
-		for i := range adj {
-			if down[i] {
-				adj[i] = nil
-				continue
-			}
-			kept := adj[i][:0]
-			for _, nb := range adj[i] {
-				if !down[nb] {
-					kept = append(kept, nb)
+
+	// Neighbor source selection. Irregular meshes always go through
+	// their own NeighborIndexer (the instance's adjacency is built once
+	// at construction — nothing to rebuild or memoize per Run); regular
+	// meshes up to largeGridNodes keep the cached materialized lists
+	// (small, warm, and pruned copies are cheap under node failures);
+	// everything larger iterates implicitly so steady-state engine
+	// state is O(N) words + O(N) bits with no O(N*deg) table anywhere.
+	var ix grid.NeighborIndexer
+	var adj [][]int32
+	if gix, ok := t.(grid.NeighborIndexer); ok &&
+		(t.Kind() == grid.Irregular || t.NumNodes() >= largeGridNodes) {
+		ix = gix
+	} else {
+		adj = buildAdjacency(t, down != nil)
+		if down != nil {
+			// Remove the down nodes from the radio graph entirely (adj is a
+			// private copy when down != nil).
+			for i := range adj {
+				if down[i] {
+					adj[i] = nil
+					continue
 				}
+				kept := adj[i][:0]
+				for _, nb := range adj[i] {
+					if !down[nb] {
+						kept = append(kept, nb)
+					}
+				}
+				adj[i] = kept
 			}
-			adj[i] = kept
 		}
 	}
 
-	e := getEngine(t, p, planFor(t, p, src), src, cfg, adj, down)
-	defer e.release()
+	e := getEngine(t, p, planFor(t, p, src), src, cfg, ix, adj, down)
 
 	var inj []injection
 	for round := 0; ; round++ {
 		e.reset(inj)
 		if err := e.drain(); err != nil {
-			return nil, err
+			return e, err
 		}
 		if cfg.DisableRepair || !e.anyMissing() {
 			break
@@ -137,7 +225,7 @@ func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, erro
 		if round >= cfg.MaxPlanRounds {
 			// Fallback: serialized repairs after all other activity.
 			if err := e.appendRepair(); err != nil {
-				return nil, err
+				return e, err
 			}
 			break
 		}
@@ -145,14 +233,16 @@ func Run(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*Result, erro
 			break // unreached nodes are disconnected from the source
 		}
 	}
-	res := e.finish()
-	e.flushTrace()
-	return res, nil
+	return e, nil
 }
 
 // adjCache memoizes dense adjacency for the regular topologies, which
 // are value types fully determined by (kind, size) — a full source
-// sweep would otherwise rebuild the same lists once per source.
+// sweep would otherwise rebuild the same lists once per source. Only
+// meshes below largeGridNodes are cached: above that the optimized
+// engine iterates implicitly and never asks, and pinning multi-MiB
+// lists per (kind, size) forever would let a handful of large oracle
+// runs hold hundreds of MiB.
 var adjCache sync.Map // adjKey -> [][]int32
 
 type adjKey struct {
@@ -161,12 +251,13 @@ type adjKey struct {
 }
 
 // buildAdjacency returns dense neighbor lists, cached for the regular
-// topologies. Callers treat the result as read-only except when they
-// need to mutate it (node failures), in which case they must pass
-// mutable=true to get a private copy — taken from the cached entry
-// (populating it on first use) rather than rebuilt from the topology.
+// topologies below the large-grid threshold. Callers treat the result
+// as read-only except when they need to mutate it (node failures), in
+// which case they must pass mutable=true to get a private copy — taken
+// from the cached entry (populating it on first use) rather than
+// rebuilt from the topology.
 func buildAdjacency(t grid.Topology, mutable bool) [][]int32 {
-	if t.Kind() == grid.Irregular {
+	if t.Kind() == grid.Irregular || t.NumNodes() >= largeGridNodes {
 		return buildAdjacencyUncached(t)
 	}
 	m, n, l := t.Size()
@@ -186,13 +277,11 @@ func buildAdjacency(t grid.Topology, mutable bool) [][]int32 {
 func buildAdjacencyUncached(t grid.Topology) [][]int32 {
 	v := t.NumNodes()
 	adj := make([][]int32, v)
-	var buf []grid.Coord
+	var buf []int32
 	for i := 0; i < v; i++ {
-		buf = t.Neighbors(t.At(i), buf[:0])
+		buf = grid.IndexNeighbors(t, i, buf[:0])
 		row := make([]int32, len(buf))
-		for k, nb := range buf {
-			row[k] = int32(t.Index(nb))
-		}
+		copy(row, buf)
 		adj[i] = row
 	}
 	return adj
@@ -215,33 +304,67 @@ func copyAdjacency(adj [][]int32) [][]int32 {
 	return out
 }
 
+// stepShard is one contiguous chunk of a slot's transmitter set,
+// processed by one worker of the sharded path. Everything a shard
+// writes is either private to it (the delta counters, the hits and
+// trace buffers, the neighbor scratch) or owned exclusively by one of
+// its transmitters (txSlots rows — transmitters are deduplicated per
+// slot, and the partition is disjoint). The serial merge then folds
+// shards back IN SHARD ORDER, which reconstructs exactly the sequence
+// a serial pass over the whole transmitter set would have produced:
+// shard-local buffers are in serial order by construction, and every
+// reception of shard s precedes every reception of shard s+1. That is
+// the whole determinism argument — results are byte-identical at any
+// worker count, including the trace event stream.
+type stepShard struct {
+	lo, hi int     // chunk bounds into the slot's txs
+	rx     int     // delivered receptions
+	lost   int     // channel-dropped receptions
+	hits   []int32 // delivered receivers, one entry per reception, serial order
+	trace  []Event // EventTx/EventLost stream of this chunk, serial order
+	nbuf   []int32 // implicit-iteration scratch
+}
+
 // engine holds the mutable state of one schedule replay. Engines are
-// pooled (enginePool): all scratch state — decode/heard/hit vectors,
-// per-node transmission logs, the slot queues, the trace buffer — is
+// pooled (enginePool): all scratch state — the struct-of-arrays
+// decode/heard/hit vectors, the covered bitset, per-node transmission
+// logs, the slot queues, the shard buffers, the trace buffer — is
 // sized once and reset, not reallocated, across the repair-replay
 // rounds of one Run and across the thousands of Runs of a sweep or
 // Monte Carlo grid. Only the slices that escape into the Result are
 // freshly allocated, in finish.
 type engine struct {
 	// Per-Run bindings, cleared on release so the pool pins nothing.
-	topo   grid.Topology
-	proto  Protocol
-	plan   *relayPlan
-	src    grid.Coord
-	srcIdx int32
-	cfg    Config
-	nbr    [][]int32 // dense adjacency (down nodes removed)
-	down   []bool    // failed nodes (nil when none)
+	topo    grid.Topology
+	proto   Protocol
+	plan    *relayPlan
+	src     grid.Coord
+	srcIdx  int32
+	cfg     Config
+	ix      grid.NeighborIndexer // implicit neighbor source (large grids, Irregular)
+	nbr     [][]int32            // materialized adjacency (small grids; down nodes removed)
+	down    []bool               // failed-node mask (nil when none); escapes into the Result
+	downN   int                  // number of failed nodes
+	workers int                  // resolved intra-run worker count
 
-	// Arena state, capacity retained across Runs.
-	decode     []int // first-decode slot, -1 never; source 0
-	heard      []int // receptions per node
-	hit        []int // scratch: transmitters heard this slot
+	// Arena state, capacity retained across Runs. Per-node scalars are
+	// int32 (struct-of-arrays), per-node booleans are bitsets: the
+	// steady-state footprint is O(N) words for the counters plus O(N)
+	// bits for the flags, never O(N*deg).
+	decode     []int32 // first-decode slot, -1 never; source 0
+	covered    bitset  // decode[i] >= 0, plus padding bits set
+	heard      []int32 // receptions per node
+	hit        []int32 // scratch: transmitters heard this slot
 	txSlots    [][]int
 	touched    []int32   // scratch: receivers hit this slot
 	pending    slotQueue // protocol-scheduled transmissions
 	inject     slotQueue // planned repair transmissions
 	injScratch []int32   // scratch txs for injection-only slots
+	shards     []stepShard
+	nbufStep   []int32 // serial step's neighbor scratch
+	nbufA      []int32 // planner scratch: missing node's neighbors
+	nbufB      []int32 // planner scratch: donor's neighbors
+	nbufC      []int32 // planner scratch: planned repair's neighbors
 	traceBuf   []Event
 
 	outstanding int
@@ -253,7 +376,7 @@ type engine struct {
 var enginePool = sync.Pool{New: func() any { return new(engine) }}
 
 // getEngine binds a pooled engine to one Run.
-func getEngine(t grid.Topology, p Protocol, plan *relayPlan, src grid.Coord, cfg Config, adj [][]int32, down []bool) *engine {
+func getEngine(t grid.Topology, p Protocol, plan *relayPlan, src grid.Coord, cfg Config, ix grid.NeighborIndexer, adj [][]int32, down []bool) *engine {
 	e := enginePool.Get().(*engine)
 	e.topo = t
 	e.proto = p
@@ -261,8 +384,16 @@ func getEngine(t grid.Topology, p Protocol, plan *relayPlan, src grid.Coord, cfg
 	e.src = src
 	e.srcIdx = int32(t.Index(src))
 	e.cfg = cfg
+	e.ix = ix
 	e.nbr = adj
 	e.down = down
+	e.downN = 0
+	for _, d := range down {
+		if d {
+			e.downN++
+		}
+	}
+	e.workers = effectiveWorkers(cfg.Workers, t.NumNodes())
 	e.sizeTo(t.NumNodes())
 	return e
 }
@@ -275,6 +406,7 @@ func (e *engine) release() {
 	e.proto = nil
 	e.plan = nil
 	e.cfg = Config{} // drops the Trace func, Channel and Down list
+	e.ix = nil
 	e.nbr = nil
 	e.down = nil
 	enginePool.Put(e)
@@ -284,15 +416,40 @@ func (e *engine) release() {
 // capacity when possible.
 func (e *engine) sizeTo(v int) {
 	if cap(e.decode) < v {
-		e.decode = make([]int, v)
-		e.heard = make([]int, v)
-		e.hit = make([]int, v)
+		e.decode = make([]int32, v)
+		e.heard = make([]int32, v)
+		e.hit = make([]int32, v)
 		e.txSlots = make([][]int, v)
 	}
 	e.decode = e.decode[:v]
 	e.heard = e.heard[:v]
 	e.hit = e.hit[:v]
 	e.txSlots = e.txSlots[:v]
+}
+
+// neighborsOf returns node i's neighbor indices: the materialized row
+// on the small-grid path (already pruned of down nodes), or an
+// implicit emission into *buf on the large-grid path (caller filters
+// down nodes, see liveFilter). The returned slice is valid until the
+// next call with the same buf.
+func (e *engine) neighborsOf(i int32, buf *[]int32) []int32 {
+	if e.ix != nil {
+		b := e.ix.IndexNeighbors(int(i), (*buf)[:0])
+		*buf = b
+		return b
+	}
+	return e.nbr[i]
+}
+
+// liveFilter returns the down mask consumers must filter against, or
+// nil when no filtering is needed: the materialized path prunes down
+// nodes out of the lists up front, the implicit path skips them at
+// iteration time.
+func (e *engine) liveFilter() []bool {
+	if e.ix != nil {
+		return e.down
+	}
+	return nil
 }
 
 // reset rewinds the engine to the start of a schedule replay: clears
@@ -302,6 +459,11 @@ func (e *engine) sizeTo(v int) {
 func (e *engine) reset(inj []injection) {
 	for i := range e.decode {
 		e.decode[i] = -1
+	}
+	v := len(e.decode)
+	e.covered.sizeToBits(v)
+	for i := int32(v); i < int32(len(e.covered)<<6); i++ {
+		e.covered.set(i) // padding bits read as covered by the scans
 	}
 	clear(e.heard)
 	clear(e.hit)
@@ -318,14 +480,11 @@ func (e *engine) reset(inj []injection) {
 		Kind:     e.topo.Kind(),
 		Source:   e.src,
 		Protocol: e.proto.Name(),
+		Down:     e.downN,
 	}
-	for _, d := range e.down {
-		if d {
-			e.res.Down++
-		}
-	}
-	e.res.Total = len(e.decode) - e.res.Down
+	e.res.Total = v - e.res.Down
 	e.decode[e.srcIdx] = 0
+	e.covered.set(e.srcIdx)
 	e.res.Reached = 1
 	e.schedule(SourceTx, e.srcIdx)
 	for _, off := range e.plan.retransmits(e.srcIdx) {
@@ -388,7 +547,7 @@ func (e *engine) drain() error {
 			// An injection fires only if its node decoded in an earlier
 			// slot: replays may shift decode times and invalidate it.
 			for _, v := range injs {
-				if d := e.decode[v]; d >= 0 && d < slot {
+				if d := e.decode[v]; d >= 0 && int(d) < slot {
 					txs = append(txs, v)
 					e.res.Repairs++
 					if e.cfg.Trace != nil {
@@ -412,10 +571,17 @@ func (e *engine) drain() error {
 	return nil
 }
 
-// step executes one slot with the given transmitters.
+// step executes one slot with the given transmitters, sharding the set
+// across the worker pool when it is large enough to pay for the
+// handoff.
 func (e *engine) step(slot int, txs []int32) {
+	if e.workers > 1 && len(txs) >= parallelMinTxs {
+		e.stepSharded(slot, txs)
+		return
+	}
 	tracing := e.cfg.Trace != nil
 	ch := e.cfg.Channel
+	filter := e.liveFilter()
 	touched := e.touched[:0]
 	for _, tx := range txs {
 		e.txSlots[tx] = append(e.txSlots[tx], slot)
@@ -423,7 +589,10 @@ func (e *engine) step(slot int, txs []int32) {
 		if tracing {
 			e.emit(Event{Slot: slot, Kind: EventTx, Node: e.topo.At(int(tx))})
 		}
-		for _, nb := range e.nbr[tx] {
+		for _, nb := range e.neighborsOf(tx, &e.nbufStep) {
+			if filter != nil && filter[nb] {
+				continue
+			}
 			if ch != nil && !ch.Deliver(slot, tx, nb) {
 				e.res.Lost++
 				if tracing {
@@ -440,6 +609,107 @@ func (e *engine) step(slot int, txs []int32) {
 		}
 	}
 	e.touched = touched
+	e.decodePhase(slot, touched)
+}
+
+// stepSharded is the deterministic parallel variant of the transmitter
+// loop: contiguous chunks of the (deduplicated, sorted) transmitter
+// set are processed concurrently, then folded back in shard order. See
+// the stepShard comment for why the fold reconstructs the serial
+// sequence exactly.
+func (e *engine) stepSharded(slot int, txs []int32) {
+	nsh := e.workers
+	if maxSh := (len(txs) + parallelMinTxs - 1) / parallelMinTxs; nsh > maxSh {
+		nsh = maxSh
+	}
+	if cap(e.shards) < nsh {
+		grown := make([]stepShard, nsh)
+		copy(grown, e.shards[:cap(e.shards)])
+		e.shards = grown
+	}
+	shards := e.shards[:nsh]
+	chunk := (len(txs) + nsh - 1) / nsh
+	var wg sync.WaitGroup
+	for s := range shards {
+		sh := &shards[s]
+		sh.lo = s * chunk
+		if sh.lo > len(txs) {
+			sh.lo = len(txs) // ceil-sized chunks can overshoot: trailing shards go empty
+		}
+		sh.hi = sh.lo + chunk
+		if sh.hi > len(txs) {
+			sh.hi = len(txs)
+		}
+		sh.rx, sh.lost = 0, 0
+		sh.hits = sh.hits[:0]
+		sh.trace = sh.trace[:0]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.shardWork(slot, txs, sh)
+		}()
+	}
+	wg.Wait()
+
+	// Shard-ordered merge: counters, trace streams, then the reception
+	// sequence driving heard/hit/touched — all identical to one serial
+	// pass over txs.
+	e.res.Tx += len(txs)
+	tracing := e.cfg.Trace != nil
+	touched := e.touched[:0]
+	for s := range shards {
+		sh := &shards[s]
+		e.res.Rx += sh.rx
+		e.res.Lost += sh.lost
+		if tracing {
+			e.traceBuf = append(e.traceBuf, sh.trace...)
+		}
+		for _, nb := range sh.hits {
+			e.heard[nb]++
+			if e.hit[nb] == 0 {
+				touched = append(touched, nb)
+			}
+			e.hit[nb]++
+		}
+	}
+	e.touched = touched
+	e.decodePhase(slot, touched)
+}
+
+// shardWork processes one shard's transmitters. It writes only
+// shard-private state and the txSlots rows of its own (deduplicated)
+// transmitters; reads are of immutable per-Run state.
+func (e *engine) shardWork(slot int, txs []int32, sh *stepShard) {
+	tracing := e.cfg.Trace != nil
+	ch := e.cfg.Channel
+	filter := e.liveFilter()
+	for _, tx := range txs[sh.lo:sh.hi] {
+		e.txSlots[tx] = append(e.txSlots[tx], slot)
+		if tracing {
+			sh.trace = append(sh.trace, Event{Slot: slot, Kind: EventTx, Node: e.topo.At(int(tx))})
+		}
+		for _, nb := range e.neighborsOf(tx, &sh.nbuf) {
+			if filter != nil && filter[nb] {
+				continue
+			}
+			if ch != nil && !ch.Deliver(slot, tx, nb) {
+				sh.lost++
+				if tracing {
+					sh.trace = append(sh.trace, Event{Slot: slot, Kind: EventLost, Node: e.topo.At(int(nb))})
+				}
+				continue
+			}
+			sh.rx++
+			sh.hits = append(sh.hits, nb)
+		}
+	}
+}
+
+// decodePhase resolves the slot's touched receivers — collision,
+// duplicate, or first decode with relay scheduling — in first-hit
+// order. Shared verbatim by the serial and sharded paths.
+func (e *engine) decodePhase(slot int, touched []int32) {
+	tracing := e.cfg.Trace != nil
 	for _, nb := range touched {
 		n := e.hit[nb]
 		e.hit[nb] = 0
@@ -450,23 +720,24 @@ func (e *engine) step(slot int, txs []int32) {
 			}
 			continue
 		}
-		if e.decode[nb] >= 0 {
+		if e.covered.get(nb) {
 			e.res.Duplicates++
 			if tracing {
 				e.emit(Event{Slot: slot, Kind: EventDuplicate, Node: e.topo.At(int(nb))})
 			}
 			continue
 		}
-		e.decode[nb] = slot
+		e.decode[nb] = int32(slot)
+		e.covered.set(nb)
 		e.res.Reached++
 		if tracing {
 			e.emit(Event{Slot: slot, Kind: EventDecode, Node: e.topo.At(int(nb))})
 		}
 		// The compiled relay plan answers IsRelay/TxDelay/Retransmits
-		// with array lookups; delays are pre-clamped and offsets
+		// with bitset/array lookups; delays are pre-clamped and offsets
 		// pre-filtered to >= 1 at compile time.
-		if e.plan.relay[nb] {
-			first := slot + e.plan.delay[nb]
+		if e.plan.relay.get(nb) {
+			first := slot + int(e.plan.delay[nb])
 			e.schedule(first, nb)
 			for _, off := range e.plan.retransmits(nb) {
 				e.schedule(first+off, nb)
@@ -478,7 +749,7 @@ func (e *engine) step(slot int, txs []int32) {
 func (e *engine) anyMissing() bool { return e.res.Reached < e.res.Total }
 
 // isDown reports whether node i has failed.
-func (e *engine) isDown(i int) bool { return e.down != nil && e.down[i] }
+func (e *engine) isDown(i int32) bool { return e.down != nil && e.down[i] }
 
 // txAt reports whether node transmitted in the given slot of this
 // schedule, or is already planned to by pendingInj.
@@ -500,19 +771,22 @@ func (e *engine) txAt(node int32, slot int, pendingInj []injection) bool {
 // node, each placed at the earliest slot that (a) no other neighbor of
 // the missing node transmits in, (b) does not destroy any first decode
 // of the donor's neighbors, and (c) does not clash with repairs
-// planned in this round. Returns how many injections were added.
+// planned in this round. Returns how many injections were added. The
+// covered bitset drives the scan: fully decoded words — the common
+// case on an almost-reached mesh — cost one compare per 64 nodes.
 func (e *engine) planInjections(inj *[]injection) int {
 	added := 0
 	var round []injection
-	for u := range e.decode {
-		if e.decode[u] >= 0 || e.isDown(u) {
+	v := int32(len(e.decode))
+	for u := e.covered.nextZero(0, v); u < v; u = e.covered.nextZero(u+1, v) {
+		if e.isDown(u) {
 			continue
 		}
 		donor := e.pickDonor(u)
 		if donor < 0 {
 			continue // disconnected from the decoded set
 		}
-		slot := e.pickSlot(int32(u), donor, round)
+		slot := e.pickSlot(u, donor, round)
 		round = append(round, injection{node: donor, slot: slot})
 		added++
 	}
@@ -522,9 +796,13 @@ func (e *engine) planInjections(inj *[]injection) int {
 
 // pickDonor finds, deterministically, the earliest-decoded neighbor of
 // u (ties by index).
-func (e *engine) pickDonor(u int) int32 {
+func (e *engine) pickDonor(u int32) int32 {
 	best := int32(-1)
-	for _, nb := range e.nbr[u] {
+	filter := e.liveFilter()
+	for _, nb := range e.neighborsOf(u, &e.nbufA) {
+		if filter != nil && filter[nb] {
+			continue
+		}
 		if e.decode[nb] < 0 {
 			continue
 		}
@@ -540,7 +818,7 @@ func (e *engine) pickDonor(u int) int32 {
 // u, considering this schedule plus the repairs already planned in
 // this round.
 func (e *engine) pickSlot(u, donor int32, round []injection) int {
-	for s := e.decode[donor] + 1; ; s++ {
+	for s := int(e.decode[donor]) + 1; ; s++ {
 		if e.conflictAt(u, donor, s, round) {
 			continue
 		}
@@ -551,16 +829,24 @@ func (e *engine) pickSlot(u, donor int32, round []injection) int {
 // conflictAt reports whether donor transmitting in slot s would fail
 // to deliver to u or would destroy someone else's first decode.
 func (e *engine) conflictAt(u, donor int32, s int, round []injection) bool {
+	filter := e.liveFilter()
 	// Another neighbor of u (or donor itself, collided) transmits at s.
-	for _, nb := range e.nbr[u] {
+	for _, nb := range e.neighborsOf(u, &e.nbufA) {
+		if filter != nil && filter[nb] {
+			continue
+		}
 		if e.txAt(nb, s, round) {
 			return true
 		}
 	}
 	// A neighbor of donor first-decodes at s from a single transmitter;
 	// donor's extra transmission would turn it into a collision.
-	for _, w := range e.nbr[donor] {
-		if e.decode[w] == s {
+	donorNbs := e.neighborsOf(donor, &e.nbufB)
+	for _, w := range donorNbs {
+		if filter != nil && filter[w] {
+			continue
+		}
+		if int(e.decode[w]) == s && e.decode[w] >= 0 {
 			return true
 		}
 	}
@@ -569,11 +855,14 @@ func (e *engine) conflictAt(u, donor int32, s int, round []injection) bool {
 		if in.slot != s {
 			continue
 		}
-		for _, w := range e.nbr[donor] {
+		for _, w := range donorNbs {
+			if filter != nil && filter[w] {
+				continue
+			}
 			if w == in.node {
 				return true
 			}
-			for _, x := range e.nbr[in.node] {
+			for _, x := range e.neighborsOf(in.node, &e.nbufC) {
 				if x == w && e.decode[w] < 0 {
 					return true
 				}
@@ -587,10 +876,11 @@ func (e *engine) conflictAt(u, donor int32, s int, round []injection) bool {
 // serialized retransmissions strictly after all other activity, one
 // per round, which cannot collide with anything.
 func (e *engine) appendRepair() error {
+	v := int32(len(e.decode))
 	for e.res.Reached < e.res.Total {
 		donor := int32(-1)
-		for u := range e.decode {
-			if e.decode[u] >= 0 || e.isDown(u) {
+		for u := e.covered.nextZero(0, v); u < v; u = e.covered.nextZero(u+1, v) {
+			if e.isDown(u) {
 				continue
 			}
 			if d := e.pickDonor(u); d >= 0 {
@@ -610,16 +900,16 @@ func (e *engine) appendRepair() error {
 }
 
 // finish computes the derived metrics into a fresh Result. Only what
-// escapes is allocated: the Result itself, the DecodeSlot copy, the
-// TxSlots headers plus one flat backing array, and PerNodeEnergyJ —
-// the arena stays with the pooled engine.
+// escapes is allocated: the Result itself, the widened DecodeSlot
+// copy, the TxSlots headers plus one flat backing array, and
+// PerNodeEnergyJ — the arena stays with the pooled engine.
 func (e *engine) finish() *Result {
 	r := new(Result)
 	*r = e.res
 	srcIdx := int(e.srcIdx)
 	for i, d := range e.decode {
-		if i != srcIdx && d > r.Delay {
-			r.Delay = d
+		if i != srcIdx && int(d) > r.Delay {
+			r.Delay = int(d)
 		}
 	}
 	etx := e.cfg.Model.TxEnergyJ(e.cfg.Packet.Bits, e.cfg.Packet.NeighborDistM)
@@ -643,7 +933,9 @@ func (e *engine) finish() *Result {
 		r.TxSlots[i] = flat[len(flat)-len(s) : len(flat) : len(flat)]
 	}
 	r.DecodeSlot = make([]int, len(e.decode))
-	copy(r.DecodeSlot, e.decode)
+	for i, d := range e.decode {
+		r.DecodeSlot[i] = int(d)
+	}
 	ledger := radio.NewLedger(e.cfg.Model, e.cfg.Packet)
 	ledger.AddTx(r.Tx)
 	ledger.AddRx(r.Rx)

@@ -1,0 +1,61 @@
+package sim
+
+import "wsnbcast/internal/grid"
+
+// Test-only knobs for the large-grid engine thresholds. The engine
+// selects its neighbor source and parallelism by node count; forcing
+// the thresholds lets the differential tests drive every path — the
+// implicit indexer and the sharded step on tiny meshes, the
+// materialized small-grid path on huge ones — against the same frozen
+// oracle. Each setter returns a restore function for defer; the knobs
+// are not safe to change concurrently with Runs.
+
+// SetLargeGridThresholdForTest overrides largeGridNodes: 0 forces the
+// implicit path (and cache gating) at every size, a huge value forces
+// the materialized small-grid path everywhere.
+func SetLargeGridThresholdForTest(n int) (restore func()) {
+	old := largeGridNodes
+	largeGridNodes = n
+	return func() { largeGridNodes = old }
+}
+
+// SetParallelMinTxsForTest overrides the minimum per-slot transmitter
+// count for the sharded step, so tiny meshes exercise shard merging.
+func SetParallelMinTxsForTest(n int) (restore func()) {
+	old := parallelMinTxs
+	parallelMinTxs = n
+	return func() { parallelMinTxs = old }
+}
+
+// AdjCacheHas reports whether a materialized adjacency is cached for
+// t's (kind, size) — the large-grid tests assert it stays absent.
+func AdjCacheHas(t grid.Topology) bool {
+	m, n, l := t.Size()
+	_, ok := adjCache.Load(adjKey{t.Kind(), m, n, l})
+	return ok
+}
+
+// PlanCacheHas reports whether the unbounded small-grid plan cache
+// holds an entry for (t, p, src) — large grids must use the bounded
+// LRU instead.
+func PlanCacheHas(t grid.Topology, p Protocol, src grid.Coord) bool {
+	m, n, l := t.Size()
+	_, ok := planCache.Load(planKey{kind: t.Kind(), m: m, n: n, l: l, src: t.Index(src), proto: p})
+	return ok
+}
+
+// EffectiveWorkersForTest exposes the Config.Workers resolution rule.
+func EffectiveWorkersForTest(cfgWorkers, v int) int { return effectiveWorkers(cfgWorkers, v) }
+
+// RunLoopForBenchmark drives the full schedule/repair loop but skips
+// Result assembly, isolating the engine's steady-state allocation: the
+// per-node DecodeSlot/TxSlots/PerNodeEnergyJ arrays a real Run must
+// hand to the caller dominate whole-Run B/op at large N and would mask
+// the arena's O(N)-bit claim.
+func RunLoopForBenchmark(t grid.Topology, p Protocol, src grid.Coord, cfg Config) error {
+	e, err := runLoop(t, p, src, cfg)
+	if e != nil {
+		e.release()
+	}
+	return err
+}

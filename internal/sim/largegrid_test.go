@@ -1,0 +1,296 @@
+package sim_test
+
+// Differential and budget tests for the large-grid fast path: implicit
+// neighbor indexing, bitset/struct-of-arrays arena state, and the
+// deterministic sharded step. The contract under test is the same as
+// differential_test.go's — byte-identical Results and traces against
+// the frozen sim.RunReference oracle — extended across the engine's
+// path-selection thresholds (forced via the export_test knobs) and
+// across Config.Workers values.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/radio"
+	"wsnbcast/internal/sim"
+)
+
+// largeTopo returns a >= 256^2-node mesh of the given kind, the scale
+// the issue requires the workers matrix to run at.
+func largeTopo(k grid.Kind) grid.Topology {
+	if k == grid.Mesh3D6 {
+		return grid.NewMesh3D6(41, 40, 40) // 65600 nodes
+	}
+	return grid.New(k, 256, 256, 1) // 65536 nodes
+}
+
+// TestDifferentialImplicitSmall reruns the full small differential
+// matrix — four kinds x {paper, flooding, jittered} x {lossless,
+// lossy, down, lossy+down} from three sources — with the implicit path
+// forced at every size. Together with TestDifferentialEngineSmall
+// (materialized path, same matrix) this proves the two neighbor
+// sources are interchangeable on every configuration the engine
+// supports, borders and repair planning included.
+func TestDifferentialImplicitSmall(t *testing.T) {
+	defer sim.SetLargeGridThresholdForTest(0)()
+	for _, k := range grid.Kinds() {
+		topo := diffSmallTopo(k)
+		sources := []grid.Coord{topo.At(0), topo.At(topo.NumNodes() / 2), topo.At(topo.NumNodes() - 1)}
+		for _, p := range diffProtocols(k) {
+			for _, src := range sources {
+				for name, cfg := range channelConfigs(topo, src) {
+					t.Run(fmt.Sprintf("%s/%s/%s/%s", k, p.Name(), src, name), func(t *testing.T) {
+						diffOne(t, topo, p, src, cfg)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialShardedSmall forces both the implicit path and the
+// sharded step (every slot shards, even single-transmitter ones) on
+// the small matrix, at several worker counts. This is the cheap,
+// exhaustive proof of the shard-merge determinism argument: collisions,
+// duplicates, lossy drops, down nodes and repair replays all cross the
+// merge, and the result must still be byte-identical to the serial
+// oracle — traces included. Run under -race by the Makefile's race
+// target, which also makes it the data-race check for shardWork.
+func TestDifferentialShardedSmall(t *testing.T) {
+	defer sim.SetLargeGridThresholdForTest(0)()
+	defer sim.SetParallelMinTxsForTest(1)()
+	for _, workers := range []int{2, 3, 8} {
+		for _, k := range grid.Kinds() {
+			topo := diffSmallTopo(k)
+			src := topo.At(topo.NumNodes()/2 + 1)
+			for _, p := range diffProtocols(k) {
+				for name, cfg := range channelConfigs(topo, src) {
+					cfg.Workers = workers
+					t.Run(fmt.Sprintf("w%d/%s/%s/%s", workers, k, p.Name(), name), func(t *testing.T) {
+						diffOne(t, topo, p, src, cfg)
+					})
+				}
+			}
+		}
+	}
+}
+
+// largeDiffOne checks Run against a precomputed reference Result and
+// trace (the reference engine is too slow to rerun per worker count at
+// this scale).
+func largeDiffOne(t *testing.T, topo grid.Topology, p sim.Protocol, src grid.Coord, cfg sim.Config,
+	want *sim.Result, wantTrace []sim.Event) {
+	t.Helper()
+	var gotTrace []sim.Event
+	if wantTrace != nil {
+		cfg.Trace = sim.CollectTrace(&gotTrace)
+	}
+	got, err := sim.Run(topo, p, src, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Result differs from reference at workers=%d\nref: %v\nnew: %v",
+			cfg.Workers, want, got)
+	}
+	if wantTrace != nil && !reflect.DeepEqual(wantTrace, gotTrace) {
+		t.Fatalf("trace differs at workers=%d: reference %d events, got %d",
+			cfg.Workers, len(wantTrace), len(gotTrace))
+	}
+}
+
+// TestLargeGridWorkersDifferential is the at-scale contract: on >=
+// 256^2-node meshes of all four kinds, the implicit+sharded engine must
+// match sim.RunReference byte-for-byte at Workers 1, 2 and 8. The
+// paper protocol runs the full channel matrix with traces; flooding
+// and jittered flooding run lossless (tracing half a million flooding
+// receptions x 4 engines adds minutes for no extra merge coverage —
+// the sharded-small matrix already crosses every event kind through
+// the merge).
+func TestLargeGridWorkersDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-grid differential matrix skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation makes the 65k-node reference runs take minutes; sharded coverage under race comes from TestDifferentialShardedSmall")
+	}
+	defer sim.SetParallelMinTxsForTest(32)() // shard even sparse wavefront slots
+	for _, k := range grid.Kinds() {
+		topo := largeTopo(k)
+		src := center(topo)
+		paper := core.ForTopology(k)
+		for name, cfg := range channelConfigs(topo, src) {
+			if name == "lossy+down" {
+				continue // planning-heavy at this scale; lossy and down each covered alone
+			}
+			t.Run(fmt.Sprintf("%s/%s/%s", k, paper.Name(), name), func(t *testing.T) {
+				var refTrace []sim.Event
+				refCfg := cfg
+				refCfg.Trace = sim.CollectTrace(&refTrace)
+				want, err := sim.RunReference(topo, paper, src, refCfg)
+				if err != nil {
+					t.Fatalf("RunReference: %v", err)
+				}
+				for _, w := range []int{1, 2, 8} {
+					wCfg := cfg
+					wCfg.Workers = w
+					largeDiffOne(t, topo, paper, src, wCfg, want, refTrace)
+				}
+			})
+		}
+		for _, p := range []sim.Protocol{core.NewFlooding(), core.NewJitteredFlooding(8)} {
+			t.Run(fmt.Sprintf("%s/%s/lossless", k, p.Name()), func(t *testing.T) {
+				want, err := sim.RunReference(topo, p, src, sim.Config{})
+				if err != nil {
+					t.Fatalf("RunReference: %v", err)
+				}
+				for _, w := range []int{1, 2, 8} {
+					largeDiffOne(t, topo, p, src, sim.Config{Workers: w}, want, nil)
+				}
+			})
+		}
+	}
+}
+
+// TestLargeGridShardedUnderRace keeps one at-scale sharded run in the
+// race build: flooding on the 256^2 8-neighbor mesh with Workers=8
+// pushes thousands of transmitters through every sharded slot, and the
+// race detector checks the shard workers' memory discipline for real
+// (no reference comparison — Workers=1 of the same engine is the
+// oracle here).
+func TestLargeGridShardedUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-grid sharded run skipped in -short mode")
+	}
+	topo := grid.NewMesh2D8(256, 256)
+	src := center(topo)
+	serial, err := sim.Run(topo, core.NewFlooding(), src, sim.Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+	sharded, err := sim.Run(topo, core.NewFlooding(), src, sim.Config{Workers: 8})
+	if err != nil {
+		t.Fatalf("sharded Run: %v", err)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("Workers=8 Result differs from Workers=1\nserial: %v\nsharded: %v", serial, sharded)
+	}
+}
+
+// TestLargeGridForcedMaterialized pits the two in-engine paths against
+// each other directly at 256^2: the default implicit path (serial and
+// sharded) must byte-match the forced materialized path — the PR-4
+// engine configuration — on the same mesh.
+func TestLargeGridForcedMaterialized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forced-materialized comparison skipped in -short mode")
+	}
+	topo := grid.NewMesh2D8(256, 256)
+	src := center(topo)
+	p := core.ForTopology(grid.Mesh2D8)
+	cfg := sim.Config{Channel: sim.NewBernoulliLoss(13, 0.05)}
+
+	restore := sim.SetLargeGridThresholdForTest(1 << 30)
+	want, err := sim.Run(topo, p, src, cfg)
+	restore()
+	if err != nil {
+		t.Fatalf("materialized Run: %v", err)
+	}
+	for _, w := range []int{1, 8} {
+		wCfg := cfg
+		wCfg.Workers = w
+		got, err := sim.Run(topo, p, src, wCfg)
+		if err != nil {
+			t.Fatalf("implicit Run (workers=%d): %v", w, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("implicit path (workers=%d) differs from materialized path", w)
+		}
+	}
+}
+
+// TestLargeGridNoMaterializedAdjacency is the tentpole's memory claim
+// at full scale: a 1024x1024 8-neighbor broadcast (a million nodes,
+// ~8.4M directed edges) completes through the implicit path with no
+// materialized adjacency anywhere — the shared cache stays empty for
+// the size, and the unbounded plan cache is bypassed for the bounded
+// LRU. Steady-state per-node engine state is O(N) int32 words plus
+// O(N) bits; an adjacency table alone would be ~33 MiB.
+func TestLargeGridNoMaterializedAdjacency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node run skipped in -short mode")
+	}
+	topo := grid.NewMesh2D8(1024, 1024)
+	src := center(topo)
+	p := core.ForTopology(grid.Mesh2D8)
+	res, err := sim.Run(topo, p, src, sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Reached != res.Total || res.Total != topo.NumNodes() {
+		t.Fatalf("million-node broadcast incomplete: reached %d/%d", res.Reached, res.Total)
+	}
+	if err := res.Validate(topo, radio.Default(), radio.CanonicalPacket()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sim.AdjCacheHas(topo) {
+		t.Fatalf("large grid materialized adjacency into the shared cache")
+	}
+	if sim.PlanCacheHas(topo, p, src) {
+		t.Fatalf("large grid populated the unbounded plan cache instead of the LRU")
+	}
+}
+
+// TestLargeGridAllocBudget pins the steady-state allocation budget on
+// the implicit path at 256^2: after warm-up, a Run allocates only what
+// escapes into the Result (the Result itself, DecodeSlot, the TxSlots
+// headers plus flat backing, PerNodeEnergyJ) — a dozen allocations,
+// independent of node count and degree.
+func TestLargeGridAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool reuse; budget holds only in normal builds")
+	}
+	if testing.Short() {
+		t.Skip("large-grid alloc budget skipped in -short mode")
+	}
+	topo := grid.NewMesh2D8(256, 256)
+	src := center(topo)
+	p := core.ForTopology(grid.Mesh2D8)
+	if _, err := sim.Run(topo, p, src, sim.Config{}); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := sim.Run(topo, p, src, sim.Config{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 12 {
+		t.Errorf("256^2 mesh: %.1f allocs per steady-state Run, budget is 12", allocs)
+	}
+}
+
+// TestEffectiveWorkers pins the Config.Workers semantics: 0 (and
+// negative) auto-select — serial below the large-grid threshold,
+// capped GOMAXPROCS above it; 1 pins serial; explicit counts pass
+// through.
+func TestEffectiveWorkers(t *testing.T) {
+	if w := sim.EffectiveWorkersForTest(1, 1<<20); w != 1 {
+		t.Errorf("Workers=1 must pin serial, got %d", w)
+	}
+	if w := sim.EffectiveWorkersForTest(5, 64); w != 5 {
+		t.Errorf("explicit Workers=5 must pass through, got %d", w)
+	}
+	if w := sim.EffectiveWorkersForTest(0, 512); w != 1 {
+		t.Errorf("auto below threshold must be serial, got %d", w)
+	}
+	if w := sim.EffectiveWorkersForTest(-3, 512); w != 1 {
+		t.Errorf("negative Workers below threshold must be serial, got %d", w)
+	}
+	if w := sim.EffectiveWorkersForTest(0, 1<<20); w < 1 || w > 8 {
+		t.Errorf("auto above threshold must pick 1..8 workers, got %d", w)
+	}
+}

@@ -18,8 +18,8 @@ import (
 // like adjCache shares adjacency: across the thousands of runs of a
 // sweep or a Monte Carlo grid the rules are compiled exactly once.
 type relayPlan struct {
-	relay []bool
-	delay []int // first tx = decode slot + delay[i]; valid when relay[i]
+	relay bitset
+	delay []int32 // first tx = decode slot + delay[i]; valid when relay set
 	// retr holds every node's retransmission offsets concatenated;
 	// node i's are retr[retrIdx[i]:retrIdx[i+1]]. The source's entry is
 	// populated even when the source is not a relay (the engine
@@ -27,6 +27,9 @@ type relayPlan struct {
 	retr    []int
 	retrIdx []int32
 }
+
+// isRelay reports the compiled IsRelay answer for node i.
+func (pl *relayPlan) isRelay(i int32) bool { return pl.relay.get(i) }
 
 // retransmits returns node i's retransmission offsets (already
 // filtered to >= 1).
@@ -59,6 +62,51 @@ func planCacheable(p Protocol) bool {
 	return t != nil && t.Kind() != reflect.Pointer && t.Comparable()
 }
 
+// bigPlanCache is the large-grid plan cache: a tiny mutex-guarded LRU
+// instead of the unbounded sync.Map. A compiled plan for a 1M-node
+// mesh is ~5 MiB; pinning one per (size, source, protocol) forever —
+// the sync.Map policy, fine below largeGridNodes — would let a source
+// sweep hold gigabytes. Caching is still required at scale: protocols
+// allocate in Retransmits per relay node, so compiling per Run would
+// blow the steady-state allocation budget the engine promises.
+const bigPlanCacheCap = 4
+
+var (
+	bigPlanMu      sync.Mutex
+	bigPlanEntries []bigPlanEntry // least-recently-used first
+)
+
+type bigPlanEntry struct {
+	key planKey
+	pl  *relayPlan
+}
+
+func bigPlanFor(key planKey, compile func() *relayPlan) *relayPlan {
+	bigPlanMu.Lock()
+	for i := range bigPlanEntries {
+		if bigPlanEntries[i].key == key {
+			e := bigPlanEntries[i]
+			bigPlanEntries = append(append(bigPlanEntries[:i], bigPlanEntries[i+1:]...), e)
+			bigPlanMu.Unlock()
+			return e.pl
+		}
+	}
+	bigPlanMu.Unlock()
+	pl := compile() // outside the lock: compilation is O(N) interface calls
+	bigPlanMu.Lock()
+	defer bigPlanMu.Unlock()
+	for i := range bigPlanEntries { // a concurrent compile may have won
+		if bigPlanEntries[i].key == key {
+			return bigPlanEntries[i].pl
+		}
+	}
+	bigPlanEntries = append(bigPlanEntries, bigPlanEntry{key, pl})
+	if len(bigPlanEntries) > bigPlanCacheCap {
+		bigPlanEntries = append(bigPlanEntries[:0], bigPlanEntries[1:]...)
+	}
+	return pl
+}
+
 // planFor returns the compiled relay plan for (t, p, src), from the
 // cache when the key qualifies.
 func planFor(t grid.Topology, p Protocol, src grid.Coord) *relayPlan {
@@ -68,6 +116,9 @@ func planFor(t grid.Topology, p Protocol, src grid.Coord) *relayPlan {
 	}
 	m, n, l := t.Size()
 	key := planKey{kind: t.Kind(), m: m, n: n, l: l, src: srcIdx, proto: p}
+	if t.NumNodes() >= largeGridNodes {
+		return bigPlanFor(key, func() *relayPlan { return compilePlan(t, p, src, srcIdx) })
+	}
 	if v, ok := planCache.Load(key); ok {
 		return v.(*relayPlan)
 	}
@@ -83,20 +134,20 @@ func planFor(t grid.Topology, p Protocol, src grid.Coord) *relayPlan {
 func compilePlan(t grid.Topology, p Protocol, src grid.Coord, srcIdx int) *relayPlan {
 	v := t.NumNodes()
 	pl := &relayPlan{
-		relay:   make([]bool, v),
-		delay:   make([]int, v),
+		relay:   newBitset(v),
+		delay:   make([]int32, v),
 		retrIdx: make([]int32, v+1),
 	}
 	for i := 0; i < v; i++ {
 		c := t.At(i)
 		var offs []int
 		if p.IsRelay(t, src, c) {
-			pl.relay[i] = true
+			pl.relay.set(int32(i))
 			d := p.TxDelay(t, src, c)
 			if d < 1 {
 				d = 1
 			}
-			pl.delay[i] = d
+			pl.delay[i] = int32(d)
 			offs = p.Retransmits(t, src, c)
 		} else if i == srcIdx {
 			offs = p.Retransmits(t, src, c)

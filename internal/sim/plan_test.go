@@ -45,15 +45,15 @@ func TestCompilePlanMatchesProtocol(t *testing.T) {
 	for i := 0; i < topo.NumNodes(); i++ {
 		c := topo.At(i)
 		relay := p.IsRelay(topo, src, c)
-		if pl.relay[i] != relay {
-			t.Fatalf("node %s: plan relay=%v, protocol says %v", c, pl.relay[i], relay)
+		if pl.isRelay(int32(i)) != relay {
+			t.Fatalf("node %s: plan relay=%v, protocol says %v", c, pl.isRelay(int32(i)), relay)
 		}
 		if relay {
 			want := p.TxDelay(topo, src, c)
 			if want < 1 {
 				want = 1
 			}
-			if pl.delay[i] != want {
+			if pl.delay[i] != int32(want) {
 				t.Fatalf("node %s: plan delay=%d, want %d", c, pl.delay[i], want)
 			}
 		}

@@ -160,13 +160,18 @@ func (r *Result) Validate(t grid.Topology, model radio.Model, pkt radio.Packet) 
 		return fmt.Errorf("sim: result total %d + down %d != topology %d",
 			r.Total, r.Down, t.NumNodes())
 	}
+	// One reused buffer through the implicit indexer: validation of a
+	// large-grid result stays O(1) in allocations instead of one
+	// Neighbors slice per transmitting node.
+	var nbuf []int32
 	liveDegree := func(i int) int {
+		nbuf = grid.IndexNeighbors(t, i, nbuf[:0])
 		if r.downMask == nil {
-			return t.Degree(t.At(i))
+			return len(nbuf)
 		}
 		d := 0
-		for _, nb := range t.Neighbors(t.At(i), nil) {
-			if !r.downMask[t.Index(nb)] {
+		for _, nb := range nbuf {
+			if !r.downMask[nb] {
 				d++
 			}
 		}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify golden cover
+.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify lane-guard fuzz-smoke golden cover
 
 all: verify
 
@@ -27,6 +27,7 @@ race:
 bench:
 	$(GO) test ./internal/sweep -bench=Sweep -benchtime=3x -run=^$$
 	$(GO) test ./internal/service -bench=Served -benchtime=100x -run=^$$
+	$(GO) test ./internal/mc -bench=MCLockstep -benchtime=3x -run=^$$
 
 # Engine-overhaul measurement pipeline. bench/baseline.txt pins the
 # pre-optimization numbers (same commands, run at the commit before the
@@ -68,7 +69,23 @@ benchstat:
 vet:
 	$(GO) vet ./...
 
-verify: build vet test race
+# Guard: the lane-vs-scalar differential suites are the lockstep
+# engine's correctness contract. If a build tag (or a rename) ever
+# drops them from the test binaries, verify fails before running
+# anything rather than passing vacuously.
+lane-guard:
+	@$(GO) test ./internal/sim -run='^$$' -list='^TestLaneDifferentialMatrix$$' | grep -q '^TestLaneDifferentialMatrix$$' || \
+		{ echo "verify: TestLaneDifferentialMatrix missing from internal/sim"; exit 1; }
+	@$(GO) test ./internal/mc -run='^$$' -list='^TestLockstepLaneWidthsIdenticalReports$$' | grep -q '^TestLockstepLaneWidthsIdenticalReports$$' || \
+		{ echo "verify: TestLockstepLaneWidthsIdenticalReports missing from internal/mc"; exit 1; }
+
+# Short fuzz smoke over the lane randomness layer — the corpus seeds
+# plus a few seconds of mutation; CI runs this on every push.
+fuzz-smoke:
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzLaneLossMask -fuzztime=5s
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzLaneFailureMasks -fuzztime=5s
+
+verify: lane-guard build vet test race
 
 # Coverage profile over the whole module; CI uploads coverage.out as
 # an artifact. Atomic mode so the profile is also valid under -race.

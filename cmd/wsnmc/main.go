@@ -5,7 +5,9 @@
 // delay, energy and transmissions as mean ± 95% CI over the loss
 // rates — and optionally writes every replication as one JSON line.
 //
-// Identical seeds produce byte-identical output at any -workers value.
+// Replications run through the lockstep lane engine, up to 64 per
+// machine word; identical seeds produce byte-identical output at any
+// -workers or -lanes value.
 //
 // Usage:
 //
@@ -45,6 +47,7 @@ type options struct {
 	loss          string
 	failure       string
 	workers       int
+	lanes         int
 	disableRepair bool
 	jsonl         string
 	cpuprofile    string
@@ -64,6 +67,7 @@ func main() {
 	flag.StringVar(&o.loss, "loss", "0,0.05,0.1,0.2", "comma-separated loss rates in [0, 1]")
 	flag.StringVar(&o.failure, "failure", "0", "comma-separated failure rates in [0, 1]")
 	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.lanes, "lanes", 0, "lockstep lane batch width, 1-64 (0 = full 64-lane words)")
 	flag.BoolVar(&o.disableRepair, "disable-repair", false, "turn off the scheduler's repair pass")
 	flag.StringVar(&o.jsonl, "jsonl", "", "write per-replication records to this file as JSON lines")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
@@ -179,6 +183,9 @@ func run(o options, w io.Writer) error {
 	if o.workers < 0 {
 		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 means GOMAXPROCS)", o.workers)
 	}
+	if o.lanes < 0 || o.lanes > 64 {
+		return fmt.Errorf("invalid -lanes %d: must be 0-64 (0 means full 64-lane words)", o.lanes)
+	}
 	topo, err := topology(o)
 	if err != nil {
 		return err
@@ -208,6 +215,7 @@ func run(o options, w io.Writer) error {
 		LossRates:    lossRates,
 		FailureRates: failRates,
 		Workers:      o.workers,
+		Lanes:        o.lanes,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,102 @@
+package mc
+
+// The lane-width leg of the differential layer: a study's report must
+// be byte-identical at every lockstep batch width — one replication
+// per word, ragged widths, or the full 64-lane word — and identical
+// again when the lane engine is bypassed entirely and every
+// replication runs through scalar sim.Run. Together with
+// sim.TestLaneDifferentialMatrix (which proves per-replication
+// equality at the engine level) this pins the whole stack: batching
+// boundaries and the lane/scalar dispatch can never shift an estimate.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// lockstepSpec exercises the full stochastic engine — loss, failures
+// and the repair planner all on — with a replication count that is
+// deliberately not a multiple of any lane width under test, so every
+// width produces at least one ragged tail batch.
+func lockstepSpec(lanes int) Spec {
+	topo := grid.New(grid.Mesh2D4, 8, 6, 1)
+	return Spec{
+		Topology: topo, Protocol: core.ForTopology(grid.Mesh2D4), Source: center(topo),
+		Seed:         99,
+		Replications: 67, // one full 64-lane word plus a 3-lane tail
+		LossRates:    []float64{0, 0.08, 0.2},
+		FailureRates: []float64{0, 0.1},
+		Workers:      3,
+		Lanes:        lanes,
+	}
+}
+
+func TestLockstepLaneWidthsIdenticalReports(t *testing.T) {
+	ref, err := Run(context.Background(), lockstepSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg, wantRec := marshalled(t, ref)
+	for _, lanes := range []int{0, 2, 7, 64} {
+		rep, err := Run(context.Background(), lockstepSpec(lanes))
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		gotAgg, gotRec := marshalled(t, rep)
+		if gotAgg != wantAgg {
+			t.Errorf("lanes=%d: aggregate report differs from lanes=1", lanes)
+		}
+		if gotRec != wantRec {
+			t.Errorf("lanes=%d: per-replication records differ from lanes=1", lanes)
+		}
+	}
+}
+
+// A traced spec is inherently scalar: the lane engine declines it and
+// every replication runs through sim.Run. The reports must still be
+// byte-identical — the lane engine's correctness contract at the mc
+// level.
+func TestLockstepMatchesScalarEngine(t *testing.T) {
+	lane, err := Run(context.Background(), lockstepSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarSpec := lockstepSpec(0)
+	scalarSpec.Config.Trace = func(sim.Event) {}
+	scalar, err := Run(context.Background(), scalarSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneAgg, laneRec := marshalled(t, lane)
+	scalAgg, scalRec := marshalled(t, scalar)
+	if laneAgg != scalAgg {
+		t.Error("lane-engine aggregate report differs from scalar engine")
+	}
+	if laneRec != scalRec {
+		t.Error("lane-engine per-replication records differ from scalar engine")
+	}
+}
+
+// A cancelled study reports how far it got: the partial-report error
+// names completed vs total replications and wraps the context error.
+func TestCancellationPartialReportError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, lockstepSpec(0))
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "mc: cancelled after ") ||
+		!strings.Contains(err.Error(), "/402 replications") {
+		t.Errorf("partial-report error missing progress counts: %v", err)
+	}
+}

@@ -10,18 +10,25 @@
 // A replication is a pure function of its derived seed: packet loss
 // and node failures come from counter-based draws (internal/sim's
 // keyed PRNG), never from shared stateful generators, so neither the
-// worker count nor completion order can shift a draw. Replications fan
-// out across the internal/sweep worker pool as independent jobs and
-// are gathered in job order; every aggregate is accumulated in that
-// order, so an mc report is byte-identical for any -workers value —
-// the stochastic extension of the sweep engine's parallel==serial
-// contract. Replication seeds are shared across grid points (common
-// random numbers), which couples the curves: per seed, raising the
-// loss rate can only remove deliveries.
+// worker count nor completion order can shift a draw. Replications run
+// as lockstep lane batches — up to Spec.Lanes (default 64)
+// replications bit-parallel per sim.RunLanes call, one bit lane per
+// replication — fanned across the internal/sweep worker pool and
+// gathered in (point, replication) order; every aggregate is
+// accumulated in that order, so an mc report is byte-identical for any
+// -workers AND any -lanes value — the stochastic extension of the
+// sweep engine's parallel==serial contract, proven by the lockstep
+// differential tests in this package. Batches the lane engine declines
+// (traced runs, oversized grids, non-converging repair plans) rerun
+// replication-by-replication through scalar sim.Run, which the lane
+// engine reproduces bit for bit. Replication seeds are shared across
+// grid points (common random numbers), which couples the curves: per
+// seed, raising the loss rate can only remove deliveries.
 package mc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -58,6 +65,13 @@ type Spec struct {
 	FailureRates []float64
 	// Workers bounds the sweep worker pool (<= 0: GOMAXPROCS).
 	Workers int
+	// Lanes caps the lockstep batch width: how many replications one
+	// sim.RunLanes call carries bit-parallel. 0 means the full 64-lane
+	// word; 1 pins the scalar engine per replication. Any value in
+	// [1, 64] produces byte-identical reports — the lane engine is
+	// bit-exact against scalar sim.Run — so the knob trades batch
+	// throughput against cross-batch parallelism, never results.
+	Lanes int
 }
 
 func (s Spec) validate() error {
@@ -79,6 +93,9 @@ func (s Spec) validate() error {
 		if r < 0 || r > 1 || math.IsNaN(r) {
 			return fmt.Errorf("mc: failure rate %g outside [0, 1]", r)
 		}
+	}
+	if s.Lanes < 0 || s.Lanes > 64 {
+		return fmt.Errorf("mc: lanes must be in [0, 64] (got %d)", s.Lanes)
 	}
 	return nil
 }
@@ -182,53 +199,130 @@ func CanonicalRates(in []float64) []float64 {
 	return dedup
 }
 
-// Run executes the study: Replications seeded jobs per grid point,
-// fanned across the sweep engine's worker pool, gathered and
-// aggregated in job order. The first failed replication, in job order,
-// aborts with its identity; a cancelled context returns promptly with
-// the context's error.
+// repOut is one replication's slot in the batch output matrix: exactly
+// one of a usable result and an error once its batch ran.
+type repOut struct {
+	res sim.LaneResult
+	err error
+}
+
+// runBatch executes one lockstep batch — the replications [repLo,
+// repLo+len(seeds)) of one grid point — into its own slots of the
+// output matrix. The lane engine carries the whole batch bit-parallel;
+// a batch it declines (ErrLaneFallback) reruns replication by
+// replication through scalar sim.Run, built exactly as the pre-lane
+// engine built its sweep jobs, so the fallback is byte-identical by
+// construction rather than by argument.
+func runBatch(spec Spec, loss, fail float64, seeds []uint64, out []repOut) {
+	laneCfg := spec.Config
+	laneCfg.Channel = nil // mc owns the channel; the seeded loss mask replaces it
+	lanes, err := sim.RunLanes(sim.LaneSpec{
+		Topology: spec.Topology,
+		Protocol: spec.Protocol,
+		Source:   spec.Source,
+		Config:   laneCfg,
+		Seeds:    seeds,
+		LossRate: loss, FailureRate: fail,
+	})
+	if err == nil {
+		for i, r := range lanes {
+			out[i] = repOut{res: r}
+		}
+		return
+	}
+	if !errors.Is(err, sim.ErrLaneFallback) {
+		for i := range out {
+			out[i] = repOut{err: err}
+		}
+		return
+	}
+	for i, seed := range seeds {
+		cfg := spec.Config
+		if fail > 0 {
+			sampled := sim.SampleFailures(spec.Topology, spec.Source, seed, fail)
+			cfg.Down = append(append([]grid.Coord(nil), spec.Config.Down...), sampled...)
+		}
+		cfg.Channel = sim.NewBernoulliLoss(seed, loss)
+		res, err := sim.Run(spec.Topology, spec.Protocol, spec.Source, cfg)
+		if err != nil {
+			out[i] = repOut{err: err}
+			continue
+		}
+		out[i] = repOut{res: sim.LaneResult{
+			Reached: res.Reached, Total: res.Total, Down: res.Down,
+			Delay: res.Delay, Tx: res.Tx, Rx: res.Rx, Lost: res.Lost,
+			Collisions: res.Collisions, Duplicates: res.Duplicates,
+			Repairs: res.Repairs, EnergyJ: res.EnergyJ,
+		}}
+	}
+}
+
+// Run executes the study: Replications seeded replications per grid
+// point, dispatched as lockstep lane batches across the sweep engine's
+// worker pool, gathered and aggregated in (point, replication) order.
+// The first failed replication, in that order, aborts with its
+// identity; a cancelled context aborts with a partial-report error
+// naming how many lane batches had completed.
 func Run(ctx context.Context, spec Spec) (*Report, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
 	lossRates := CanonicalRates(spec.LossRates)
 	failRates := CanonicalRates(spec.FailureRates)
+	laneWidth := spec.Lanes
+	if laneWidth == 0 {
+		laneWidth = 64
+	}
+	if spec.Config.Trace != nil {
+		// Traced runs are inherently scalar; width-1 batches keep them
+		// one sweep task per replication, as before the lane engine.
+		laneWidth = 1
+	}
 
-	type pointJobs struct {
+	type gridPoint struct {
 		loss, fail float64
 	}
-	var points []pointJobs
+	var points []gridPoint
 	for _, fr := range failRates {
 		for _, lr := range lossRates {
-			points = append(points, pointJobs{loss: lr, fail: fr})
+			points = append(points, gridPoint{loss: lr, fail: fr})
 		}
 	}
 
-	// One sweep job per (point, replication); the replication seed
-	// depends only on the replication index, so grid points share
-	// uniforms (common random numbers).
-	jobs := make([]sweep.Job, 0, len(points)*spec.Replications)
-	for _, pt := range points {
-		for rep := 0; rep < spec.Replications; rep++ {
-			repSeed := sim.ReplicationSeed(spec.Seed, rep)
-			cfg := spec.Config
-			if pt.fail > 0 {
-				sampled := sim.SampleFailures(spec.Topology, spec.Source, repSeed, pt.fail)
-				cfg.Down = append(append([]grid.Coord(nil), spec.Config.Down...), sampled...)
-			}
-			cfg.Channel = sim.NewBernoulliLoss(repSeed, pt.loss)
-			jobs = append(jobs, sweep.Job{
-				Topology: spec.Topology,
-				Protocol: spec.Protocol,
-				Source:   spec.Source,
-				Config:   cfg,
+	// The replication seed depends only on the replication index, so
+	// grid points share uniforms (common random numbers) and the lane
+	// batching boundary cannot shift any draw.
+	seeds := make([]uint64, spec.Replications)
+	for r := range seeds {
+		seeds[r] = sim.ReplicationSeed(spec.Seed, r)
+	}
+
+	// One task per (point, lane batch), each writing its own slots of
+	// the output matrix; the final batch of a point is ragged when
+	// Replications is not a multiple of the lane width.
+	outs := make([]repOut, len(points)*spec.Replications)
+	var fns []func() error
+	for pi, pt := range points {
+		base := pi * spec.Replications
+		for lo := 0; lo < spec.Replications; lo += laneWidth {
+			hi := min(lo+laneWidth, spec.Replications)
+			pt, lo, hi := pt, lo, hi
+			fns = append(fns, func() error {
+				runBatch(spec, pt.loss, pt.fail, seeds[lo:hi], outs[base+lo:base+hi])
+				return nil
 			})
 		}
 	}
 
-	outs, err := sweep.New(spec.Workers).Run(ctx, jobs)
-	if err != nil {
-		return nil, fmt.Errorf("mc: %w", err)
+	if _, err := sweep.New(spec.Workers).RunFuncs(ctx, fns); err != nil {
+		done := 0
+		for _, o := range outs {
+			if o.err != nil || o.res.Total > 0 {
+				done++
+			}
+		}
+		return nil, fmt.Errorf("mc: cancelled after %d/%d replications: %w",
+			done, len(outs), err)
 	}
 
 	rep := &Report{
@@ -239,36 +333,52 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		Seed:         spec.Seed,
 		Replications: spec.Replications,
 		Points:       make([]Point, 0, len(points)),
-		Records:      make([]Record, 0, len(jobs)),
+		Records:      make([]Record, 0, len(outs)),
 	}
+	// Per-point sample buffers, reused across points: the per-lane
+	// values are gathered in replication order and folded into the
+	// running moments with one AddAll each, which keeps the accumulation
+	// order — and therefore every float — identical to the
+	// per-replication loop the lane engine replaced.
+	samples := struct{ reach, delay, energy, tx, repairs []float64 }{}
 	for pi, pt := range points {
 		var reach, delay, energy, tx, repairs stats.Running
+		samples.reach = samples.reach[:0]
+		samples.delay = samples.delay[:0]
+		samples.energy = samples.energy[:0]
+		samples.tx = samples.tx[:0]
+		samples.repairs = samples.repairs[:0]
 		p := Point{LossRate: pt.loss, FailureRate: pt.fail, Replications: spec.Replications}
 		for r := 0; r < spec.Replications; r++ {
 			o := outs[pi*spec.Replications+r]
-			if o.Err != nil {
+			if o.err != nil {
 				return nil, fmt.Errorf("mc: replication %d at loss=%g failure=%g: %w",
-					r, pt.loss, pt.fail, o.Err)
+					r, pt.loss, pt.fail, o.err)
 			}
-			res := o.Result
+			res := o.res
 			rep.Records = append(rep.Records, Record{
 				LossRate: pt.loss, FailureRate: pt.fail,
-				Rep: r, Seed: sim.ReplicationSeed(spec.Seed, r),
+				Rep: r, Seed: seeds[r],
 				Reached: res.Reached, Total: res.Total, Down: res.Down,
 				Reachability: res.Reachability(), Delay: res.Delay,
 				Tx: res.Tx, Rx: res.Rx, Lost: res.Lost,
 				Collisions: res.Collisions, Repairs: res.Repairs,
 				EnergyJ: res.EnergyJ,
 			})
-			reach.Add(res.Reachability())
-			delay.Add(float64(res.Delay))
-			energy.Add(res.EnergyJ)
-			tx.Add(float64(res.Tx))
-			repairs.Add(float64(res.Repairs))
+			samples.reach = append(samples.reach, res.Reachability())
+			samples.delay = append(samples.delay, float64(res.Delay))
+			samples.energy = append(samples.energy, res.EnergyJ)
+			samples.tx = append(samples.tx, float64(res.Tx))
+			samples.repairs = append(samples.repairs, float64(res.Repairs))
 			if res.FullyReached() {
 				p.FullyReached++
 			}
 		}
+		reach.AddAll(samples.reach...)
+		delay.AddAll(samples.delay...)
+		energy.AddAll(samples.energy...)
+		tx.AddAll(samples.tx...)
+		repairs.AddAll(samples.repairs...)
 		p.Reachability = metric(&reach)
 		p.Delay = metric(&delay)
 		p.EnergyJ = metric(&energy)

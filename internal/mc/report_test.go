@@ -1,0 +1,82 @@
+package mc
+
+// Edge cases of the Report surface: curve extraction at a rate the grid
+// never ran, and the degenerate statistics of a single-replication
+// study — both consumed downstream by the CLI tables and the scenario
+// layer, so their shapes are part of the contract.
+
+import (
+	"context"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+)
+
+// Curve slices the point grid by exact failure rate: a rate the study
+// never ran yields an empty curve, not a nearest match, and each real
+// rate yields its full loss-rate run in ascending order.
+func TestCurveUnknownFailureRate(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 4)
+	rep, err := Run(context.Background(), Spec{
+		Topology: topo, Protocol: core.ForTopology(grid.Mesh2D4), Source: center(topo),
+		Seed: 5, Replications: 2,
+		LossRates:    []float64{0, 0.1},
+		FailureRates: []float64{0, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := rep.Curve(0.05); len(pts) != 0 {
+		t.Errorf("Curve(0.05) returned %d points for a rate the grid never ran", len(pts))
+	}
+	for _, fr := range []float64{0, 0.2} {
+		pts := rep.Curve(fr)
+		if len(pts) != 2 {
+			t.Fatalf("Curve(%g) returned %d points, want 2", fr, len(pts))
+		}
+		for i, p := range pts {
+			if p.FailureRate != fr {
+				t.Errorf("Curve(%g)[%d] has failure rate %g", fr, i, p.FailureRate)
+			}
+		}
+		if pts[0].LossRate != 0 || pts[1].LossRate != 0.1 {
+			t.Errorf("Curve(%g) loss rates = %g, %g, want ascending 0, 0.1",
+				fr, pts[0].LossRate, pts[1].LossRate)
+		}
+	}
+}
+
+// A single replication carries no spread: every metric of the point
+// must collapse to Mean == Min == Max with a zero confidence interval,
+// not a NaN from the n-1 denominator.
+func TestSingleReplicationDegenerateIntervals(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 4)
+	rep, err := Run(context.Background(), Spec{
+		Topology: topo, Protocol: core.ForTopology(grid.Mesh2D4), Source: center(topo),
+		Seed: 11, Replications: 1,
+		LossRates:    []float64{0.15},
+		FailureRates: []float64{0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Replications != 1 {
+		t.Fatalf("points = %+v, want one single-replication point", rep.Points)
+	}
+	pt := rep.Points[0]
+	for name, m := range map[string]Metric{
+		"Reachability": pt.Reachability,
+		"Delay":        pt.Delay,
+		"EnergyJ":      pt.EnergyJ,
+		"Tx":           pt.Tx,
+		"Repairs":      pt.Repairs,
+	} {
+		if m.CI95 != 0 {
+			t.Errorf("%s: single replication has CI95 = %g", name, m.CI95)
+		}
+		if m.Min != m.Mean || m.Max != m.Mean {
+			t.Errorf("%s: extremes %g..%g disagree with mean %g", name, m.Min, m.Max, m.Mean)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+func BenchmarkLanePointProbe(b *testing.B) {
+	topo := grid.NewMesh2D4(16, 8)
+	p := core.ForTopology(grid.Mesh2D4)
+	src := grid.C2(8, 4)
+	seeds := make([]uint64, 20)
+	for i := range seeds {
+		seeds[i] = sim.ReplicationSeed(1, i)
+	}
+	for _, pt := range []struct{ loss, fail float64 }{
+		{0, 0}, {0.05, 0}, {0.1, 0}, {0, 0.1}, {0.05, 0.1}, {0.1, 0.1},
+	} {
+		b.Run(fmt.Sprintf("lane/loss=%g,fail=%g", pt.loss, pt.fail), func(b *testing.B) {
+			spec := sim.LaneSpec{Topology: topo, Protocol: p, Source: src,
+				Seeds: seeds, LossRate: pt.loss, FailureRate: pt.fail}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunLanes(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scalar/loss=%g,fail=%g", pt.loss, pt.fail), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, seed := range seeds {
+					cfg := sim.Config{Channel: sim.NewBernoulliLoss(seed, pt.loss)}
+					if pt.fail > 0 {
+						cfg.Down = sim.SampleFailures(topo, src, seed, pt.fail)
+					}
+					if _, err := sim.Run(topo, p, src, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

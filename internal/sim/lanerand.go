@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"wsnbcast/internal/grid"
+)
+
+// Lane randomness: the lockstep Monte Carlo engine (lanes.go) carries
+// up to 64 replications per machine word, so every Bernoulli decision
+// needs one bit per lane — and each bit must equal, exactly, the draw
+// the scalar engine would have made for that lane's derived seed.
+// There is no shortcut through a single 64-bit word of "random bits":
+// a Bernoulli(rate) decision needs a full uniform per lane, and lane λ
+// is defined by its own seed. What the lanes do share is structure:
+// keyedUint64 absorbs its words in order, so every draw of lane λ in a
+// domain starts from the same two-word prefix mix(seed_λ, domain), and
+// the per-slot and per-transmitter continuations are shared across all
+// receivers of a transmission. The engine caches those chain prefixes
+// and pays one splitmix64 finalizer per (link, lane) where the scalar
+// path pays the whole five-word chain per link per replication — plus
+// the scalar engine's per-replication bookkeeping.
+//
+// The functions here are the uncached reference forms. They exist so
+// the fuzz harness (lanerand_test.go) can pin the lane-vs-scalar
+// equality on arbitrary inputs, and so the derivation is written down
+// once in full; the engine's cached chains are proven against the same
+// scalar draws by the differential matrix.
+
+// laneSeedPrefix returns, per lane, the keyedUint64 chain state after
+// absorbing (seed, domain) — the seed-dependent prefix shared by every
+// draw that lane makes in the domain.
+func laneSeedPrefix(seeds []uint64, domain uint64, out *[64]uint64) {
+	for i, s := range seeds {
+		h := golden
+		h = mix64(h + golden + s)
+		out[i] = mix64(h + golden + domain)
+	}
+}
+
+// LaneLossMask returns the lost-mask of one link event for a batch of
+// lockstep lanes: bit λ is set iff BernoulliLoss{Seed: seeds[λ],
+// Rate: rate} would drop the (slot, tx, rx) reception — the exact
+// complement, per lane, of the scalar Channel's Deliver verdict. A
+// rate <= 0 loses nothing, matching NewBernoulliLoss returning the
+// error-free nil channel. len(seeds) must be at most 64.
+func LaneLossMask(seeds []uint64, rate float64, slot int, tx, rx int32) uint64 {
+	if len(seeds) > 64 {
+		panic("sim: lane batch wider than 64 lanes")
+	}
+	if rate <= 0 {
+		return 0
+	}
+	var mask uint64
+	txw, rxw := uint64(uint32(tx)), uint64(uint32(rx))
+	for lane, s := range seeds {
+		h := golden
+		h = mix64(h + golden + s)
+		h = mix64(h + golden + domainLoss)
+		h = mix64(h + golden + uint64(slot))
+		h = mix64(h + golden + txw)
+		h = mix64(h + golden + rxw)
+		if float64(h>>11)*0x1p-53 < rate {
+			mask |= 1 << uint(lane)
+		}
+	}
+	return mask
+}
+
+// LaneFailureMasks fills fail[i] with the pre-broadcast failure mask
+// of node i: bit λ is set iff SampleFailures(t, src, seeds[λ], rate)
+// would fail node i. The source is exempt in every lane, exactly as in
+// the scalar sampler. fail must have t.NumNodes() entries; len(seeds)
+// must be at most 64.
+func LaneFailureMasks(t grid.Topology, src grid.Coord, seeds []uint64, rate float64, fail []uint64) {
+	if len(seeds) > 64 {
+		panic("sim: lane batch wider than 64 lanes")
+	}
+	clear(fail)
+	if rate <= 0 {
+		return
+	}
+	var prefix [64]uint64
+	laneSeedPrefix(seeds, domainFailure, &prefix)
+	srcIdx := t.Index(src)
+	for i := range fail {
+		if i == srcIdx {
+			continue
+		}
+		var m uint64
+		for lane := range seeds {
+			if float64(mix64(prefix[lane]+golden+uint64(i))>>11)*0x1p-53 < rate {
+				m |= 1 << uint(lane)
+			}
+		}
+		fail[i] = m
+	}
+}
+
+// laneCounter accumulates one integer per lane from 64-bit event
+// masks, bit-sliced: plane p holds bit p of every lane's count, so
+// adding a mask is a short ripple-carry over words — O(1) amortized —
+// instead of a popcount-directed loop over set bits. 32 planes bound
+// the counts at 2^32, far above anything a single broadcast can
+// produce (the engine rejects schedules past the int32 slot limit).
+type laneCounter struct {
+	planes [32]uint64
+}
+
+// add increments the count of every lane whose bit is set in m.
+func (c *laneCounter) add(m uint64) {
+	for i := 0; m != 0 && i < len(c.planes); i++ {
+		carry := c.planes[i] & m
+		c.planes[i] ^= m
+		m = carry
+	}
+}
+
+// count reads lane λ's accumulated total.
+func (c *laneCounter) count(lane int) int {
+	var n uint64
+	for i, p := range c.planes {
+		n |= (p >> uint(lane) & 1) << uint(i)
+	}
+	return int(n)
+}
+
+// reset clears every lane's count.
+func (c *laneCounter) reset() {
+	clear(c.planes[:])
+}

@@ -1,0 +1,93 @@
+package sim
+
+// Property harness for the lane randomness layer: the lane-vs-scalar
+// bit equality that the differential matrix proves on real broadcasts
+// is pinned here on arbitrary inputs — any (seed, rate, coordinates)
+// the fuzzer invents must see lane λ's bit equal the scalar draw for
+// seeds[λ], and replication seeds must never collide within a study.
+// CI runs each fuzz target briefly on every push (make / ci.yml); the
+// committed corpus keeps the seed cases as plain unit tests.
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+)
+
+// fuzzRate maps 64 random bits onto a uniform rate in [0, 1) — the
+// same top-53-bit projection the draws themselves use, so mutations
+// explore thresholds right at the representable boundaries.
+func fuzzRate(bits uint64) float64 { return float64(bits>>11) * 0x1p-53 }
+
+// fuzzSeeds derives a 1-to-64 lane batch the way the Monte Carlo
+// layer does, so fuzzed batches have the production seed structure.
+func fuzzSeeds(seed uint64, width uint8) []uint64 {
+	seeds := make([]uint64, 1+int(width%64))
+	for i := range seeds {
+		seeds[i] = ReplicationSeed(seed, i)
+	}
+	return seeds
+}
+
+func FuzzLaneLossMask(f *testing.F) {
+	f.Add(uint64(1), 0, int32(0), int32(1), uint64(0), uint8(63))
+	f.Add(uint64(42), 7, int32(12), int32(13), ^uint64(0), uint8(0))
+	f.Add(uint64(0xdeadbeef), 900, int32(511), int32(0), uint64(1)<<62, uint8(31))
+	f.Fuzz(func(t *testing.T, seed uint64, slot int, tx, rx int32, rateBits uint64, width uint8) {
+		rate := fuzzRate(rateBits)
+		seeds := fuzzSeeds(seed, width)
+		mask := LaneLossMask(seeds, rate, slot, tx, rx)
+		for lane, s := range seeds {
+			want := false
+			if ch := NewBernoulliLoss(s, rate); ch != nil {
+				want = !ch.Deliver(slot, tx, rx)
+			}
+			if got := mask>>uint(lane)&1 == 1; got != want {
+				t.Fatalf("lane %d (seed %#x rate %g slot %d tx %d rx %d): lane bit lost=%v, scalar lost=%v",
+					lane, s, rate, slot, tx, rx, got, want)
+			}
+		}
+	})
+}
+
+func FuzzLaneFailureMasks(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint8(63), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(7), ^uint64(0), uint8(0), uint8(3), uint8(5), uint8(17))
+	f.Add(uint64(0xfeed), uint64(1)<<62, uint8(15), uint8(6), uint8(2), uint8(40))
+	f.Fuzz(func(t *testing.T, seed, rateBits uint64, width, mB, nB, srcB uint8) {
+		topo := grid.NewMesh2D4(2+int(mB%8), 2+int(nB%8))
+		src := topo.At(int(srcB) % topo.NumNodes())
+		rate := fuzzRate(rateBits)
+		seeds := fuzzSeeds(seed, width)
+		fail := make([]uint64, topo.NumNodes())
+		LaneFailureMasks(topo, src, seeds, rate, fail)
+		for lane, s := range seeds {
+			down := make(map[int]bool)
+			for _, c := range SampleFailures(topo, src, s, rate) {
+				down[topo.Index(c)] = true
+			}
+			for i := range fail {
+				if got := fail[i]>>uint(lane)&1 == 1; got != down[i] {
+					t.Fatalf("lane %d (seed %#x rate %g) node %d: lane bit down=%v, scalar down=%v",
+						lane, s, rate, i, got, down[i])
+				}
+			}
+		}
+	})
+}
+
+// Replication seeds within a study must be collision-free: two
+// replications sharing a seed would share every uniform and silently
+// halve the effective sample size of every estimate.
+func TestReplicationSeedCollisionFree(t *testing.T) {
+	for _, study := range []uint64{0, 1, 0xdeadbeefcafe} {
+		seen := make(map[uint64]int, 1<<16)
+		for r := 0; r < 1<<16; r++ {
+			s := ReplicationSeed(study, r)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("study %#x: replications %d and %d share seed %#x", study, prev, r, s)
+			}
+			seen[s] = r
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package sim_test
+
+// The differential lock on the lockstep lane engine: every lane of
+// sim.RunLanes must reproduce, field for field, the scalar sim.Run
+// replication built from the same derived seed — sampled failures in
+// Down, BernoulliLoss channel, identical config — across the canonical
+// topology x protocol x loss x failure matrix of ISSUE 6, at full and
+// ragged lane widths. Run under -race by the Makefile's race target;
+// make verify greps for TestLaneDifferentialMatrix so a build tag
+// cannot silently drop this file.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// laneSmallTopo is a reduced mesh of each kind, big enough for
+// borders, collisions, and scheduler repairs without making the
+// 64-lane scalar cross-check expensive.
+func laneSmallTopo(k grid.Kind) grid.Topology {
+	if k == grid.Mesh3D6 {
+		return grid.NewMesh3D6(4, 4, 3)
+	}
+	return grid.New(k, 10, 6, 1)
+}
+
+func laneProtocols(k grid.Kind) map[string]sim.Protocol {
+	return map[string]sim.Protocol{
+		"paper":           core.ForTopology(k),
+		"flooding":        core.NewFlooding(),
+		"flooding-jitter": core.NewJitteredFlooding(8),
+	}
+}
+
+// scalarLane runs the scalar replication lane λ must match: failures
+// sampled from the lane's seed into Down, the lane's seeded Bernoulli
+// channel, everything else from the shared base config.
+func scalarLane(t *testing.T, topo grid.Topology, p sim.Protocol, src grid.Coord, base sim.Config, seed uint64, loss, fail float64) *sim.Result {
+	t.Helper()
+	cfg := base
+	cfg.Down = append(append([]grid.Coord(nil), base.Down...), sim.SampleFailures(topo, src, seed, fail)...)
+	cfg.Channel = sim.NewBernoulliLoss(seed, loss)
+	res, err := sim.Run(topo, p, src, cfg)
+	if err != nil {
+		t.Fatalf("scalar run (seed %d): %v", seed, err)
+	}
+	return res
+}
+
+// requireLaneEqual asserts exact equality — floats included — between
+// one lane's result and its scalar counterpart.
+func requireLaneEqual(t *testing.T, lane int, got sim.LaneResult, want *sim.Result) {
+	t.Helper()
+	if got.Reached != want.Reached || got.Total != want.Total || got.Down != want.Down ||
+		got.Delay != want.Delay || got.Tx != want.Tx || got.Rx != want.Rx ||
+		got.Lost != want.Lost || got.Collisions != want.Collisions ||
+		got.Duplicates != want.Duplicates || got.Repairs != want.Repairs ||
+		got.EnergyJ != want.EnergyJ {
+		t.Fatalf("lane %d diverged from scalar:\nlane:   %+v\nscalar: Reached=%d Total=%d Down=%d Delay=%d Tx=%d Rx=%d Lost=%d Coll=%d Dup=%d Rep=%d E=%v",
+			lane, got, want.Reached, want.Total, want.Down, want.Delay, want.Tx, want.Rx,
+			want.Lost, want.Collisions, want.Duplicates, want.Repairs, want.EnergyJ)
+	}
+	if got.Reachability() != want.Reachability() || got.FullyReached() != want.FullyReached() {
+		t.Fatalf("lane %d derived metrics diverged", lane)
+	}
+}
+
+// diffLanes runs one batch through the lane engine and checks every
+// lane against its scalar replication.
+func diffLanes(t *testing.T, topo grid.Topology, p sim.Protocol, src grid.Coord, base sim.Config, seeds []uint64, loss, fail float64) {
+	t.Helper()
+	spec := sim.LaneSpec{
+		Topology: topo, Protocol: p, Source: src, Config: base,
+		Seeds: seeds, LossRate: loss, FailureRate: fail,
+	}
+	lanes, err := sim.RunLanes(spec)
+	if err != nil {
+		t.Fatalf("RunLanes: %v", err)
+	}
+	if len(lanes) != len(seeds) {
+		t.Fatalf("RunLanes returned %d results for %d seeds", len(lanes), len(seeds))
+	}
+	for lane, seed := range seeds {
+		want := scalarLane(t, topo, p, src, base, seed, loss, fail)
+		requireLaneEqual(t, lane, lanes[lane], want)
+	}
+}
+
+func laneSeeds(study uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = sim.ReplicationSeed(study, i)
+	}
+	return seeds
+}
+
+// TestLaneDifferentialMatrix is the issue's full matrix: all canonical
+// topologies x {paper, flooding, flooding-jitter} x loss {0, 0.05,
+// 0.2} x failure {0, 0.1}, 64 lanes each, every lane checked against
+// its scalar replication. make verify requires this test to exist in
+// the compiled test binary.
+func TestLaneDifferentialMatrix(t *testing.T) {
+	losses := []float64{0, 0.05, 0.2}
+	failures := []float64{0, 0.1}
+	for _, k := range grid.Kinds() {
+		topo := laneSmallTopo(k)
+		src := topo.At(topo.NumNodes() / 2)
+		for name, p := range laneProtocols(k) {
+			for _, loss := range losses {
+				for _, fail := range failures {
+					t.Run(fmt.Sprintf("%s/%s/loss=%g/fail=%g", k, name, loss, fail), func(t *testing.T) {
+						t.Parallel()
+						diffLanes(t, topo, p, src, sim.Config{}, laneSeeds(1, 64), loss, fail)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestLaneRaggedWidths pins ragged batches: every lane width from a
+// single lane up through a full word matches scalar, so the final
+// partial batch of a Monte Carlo run (reps not a multiple of 64) is as
+// trustworthy as the full ones. Also exercises a different study seed
+// offset per width, as mc's last batch starts mid-sequence.
+func TestLaneRaggedWidths(t *testing.T) {
+	topo := grid.New(grid.Mesh2D4, 9, 5, 1)
+	src := topo.At(22)
+	p := core.ForTopology(grid.Mesh2D4)
+	all := laneSeeds(7, 64)
+	for _, width := range []int{1, 2, 7, 31, 63, 64} {
+		width := width
+		t.Run(fmt.Sprintf("width=%d", width), func(t *testing.T) {
+			t.Parallel()
+			off := 64 - width // a mid-sequence slice, like mc's final batch
+			diffLanes(t, topo, p, src, sim.Config{}, all[off:off+width], 0.2, 0.1)
+		})
+	}
+}
+
+// TestLaneStaticDownAndDisableRepair covers the remaining config
+// surface: a shared static Down list composed with per-lane sampled
+// failures, and DisableRepair leaving whatever the protocol achieves.
+func TestLaneStaticDownAndDisableRepair(t *testing.T) {
+	topo := grid.New(grid.Mesh2D8, 8, 6, 1)
+	src := topo.At(20)
+	base := sim.Config{Down: []grid.Coord{topo.At(3), topo.At(41)}}
+	diffLanes(t, topo, core.NewFlooding(), src, base, laneSeeds(11, 64), 0.1, 0.1)
+
+	base.DisableRepair = true
+	diffLanes(t, topo, core.ForTopology(grid.Mesh2D8), src, base, laneSeeds(13, 64), 0.2, 0)
+}
+
+// TestLanePoolReuse reruns one batch back to back: a stale pooled
+// arena (counters, decode slots, tx logs not reset) would show up as a
+// second-run divergence.
+func TestLanePoolReuse(t *testing.T) {
+	topo := laneSmallTopo(grid.Mesh2D4)
+	src := topo.At(5)
+	p := core.NewJitteredFlooding(8)
+	for i := 0; i < 3; i++ {
+		diffLanes(t, topo, p, src, sim.Config{}, laneSeeds(uint64(17+i), 37), 0.05, 0.1)
+	}
+}
+
+// TestRunLanesFallbacks pins the scalar-only surface: tracing,
+// caller-owned channels, and invalid static Down lists report
+// ErrLaneFallback (the caller reruns through sim.Run), while malformed
+// specs report ordinary errors.
+func TestRunLanesFallbacks(t *testing.T) {
+	topo := grid.New(grid.Mesh2D4, 4, 4, 1)
+	src := topo.At(5)
+	p := core.NewFlooding()
+	ok := sim.LaneSpec{Topology: topo, Protocol: p, Source: src, Seeds: []uint64{1, 2}}
+
+	fallback := map[string]sim.LaneSpec{}
+	withTrace := ok
+	withTrace.Config.Trace = func(sim.Event) {}
+	fallback["trace"] = withTrace
+	withChannel := ok
+	withChannel.Config.Channel = sim.NewBernoulliLoss(1, 0.5)
+	fallback["channel"] = withChannel
+	downSource := ok
+	downSource.Config.Down = []grid.Coord{src}
+	fallback["down-source"] = downSource
+	outsideSource := ok
+	outsideSource.Source = grid.C2(99, 99)
+	fallback["outside-source"] = outsideSource
+	for name, spec := range fallback {
+		if _, err := sim.RunLanes(spec); !errors.Is(err, sim.ErrLaneFallback) {
+			t.Errorf("%s: want ErrLaneFallback, got %v", name, err)
+		}
+	}
+
+	invalid := map[string]sim.LaneSpec{}
+	noSeeds := ok
+	noSeeds.Seeds = nil
+	invalid["no-seeds"] = noSeeds
+	tooWide := ok
+	tooWide.Seeds = make([]uint64, 65)
+	invalid["too-wide"] = tooWide
+	badLoss := ok
+	badLoss.LossRate = 1.5
+	invalid["bad-loss"] = badLoss
+	badFail := ok
+	badFail.FailureRate = -0.25
+	invalid["bad-failure"] = badFail
+	invalid["nil-protocol"] = sim.LaneSpec{Topology: topo, Source: src, Seeds: []uint64{1}}
+	for name, spec := range invalid {
+		_, err := sim.RunLanes(spec)
+		if err == nil || errors.Is(err, sim.ErrLaneFallback) {
+			t.Errorf("%s: want a validation error, got %v", name, err)
+		}
+	}
+}

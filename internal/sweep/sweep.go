@@ -191,6 +191,71 @@ func (e Engine) Run(ctx context.Context, jobs []Job) ([]Outcome, error) {
 	return outs, nil
 }
 
+// RunFuncs executes arbitrary independent tasks on the pool under the
+// engine's claim/cancellation contract: workers claim tasks atomically
+// in index order, each task's returned error lands in its own slot of
+// the returned slice, and no task's failure stops the others. The
+// second return is non-nil only when ctx was cancelled; tasks the
+// cancellation prevented from starting then carry the context error in
+// their slots, tasks that completed keep whatever they returned. The
+// Monte Carlo engine fans its lockstep lane batches out through this
+// — the batches write into caller-owned, per-task slots, so like Run,
+// completion order cannot influence any observable output.
+func (e Engine) RunFuncs(ctx context.Context, fns []func() error) ([]error, error) {
+	errs := make([]error, len(fns))
+	if len(fns) == 0 {
+		return errs, ctx.Err()
+	}
+	workers := e.Workers()
+	if workers > len(fns) {
+		workers = len(fns)
+	}
+	if e.gauge != nil {
+		e.gauge.Add(int64(len(fns)))
+	}
+
+	ran := make([]bool, len(fns)) // each slot written only by its claimer
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(fns) {
+					return
+				}
+				errs[i] = fns[i]()
+				ran[i] = true
+				if e.gauge != nil {
+					e.gauge.Add(-1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !ran[i] {
+				errs[i] = err
+				if e.gauge != nil {
+					e.gauge.Add(-1)
+				}
+			}
+		}
+		return errs, err
+	}
+	return errs, nil
+}
+
 // SourceJobs returns one job per node of t in dense index order — the
 // full source-position sweep of the paper's evaluation.
 func SourceJobs(t grid.Topology, p sim.Protocol, cfg sim.Config) []Job {

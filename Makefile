@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify lane-guard fuzz-smoke golden cover
+.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify lane-guard fuzz-smoke golden cover jobs-e2e
 
 all: verify
 
@@ -92,6 +92,13 @@ verify: lane-guard build vet test race
 cover:
 	$(GO) test ./... -covermode=atomic -coverprofile=coverage.out
 	$(GO) tool cover -func=coverage.out | tail -1
+
+# Crash/restart smoke over the async job subsystem: submits a Monte
+# Carlo job against a -store directory, SIGKILLs the server mid-job,
+# restarts it, and diffs the resumed job's result against a fresh
+# synchronous answer. Needs curl and jq on PATH.
+jobs-e2e:
+	./scripts/jobs_e2e.sh
 
 # Regenerate the golden files after an intended output change.
 golden:

@@ -17,6 +17,12 @@
 //	wsnmc -failure 0,0.05 -disable-repair  # failure grid, raw protocol rules
 //	wsnmc -jsonl runs.jsonl                # per-replication records
 //	wsnmc -source 16,8 -m 32 -n 16         # custom mesh and source
+//	wsnmc -store /var/lib/wsn/store        # share wsnserved's result store
+//
+// With -store, the flags compile to the equivalent canonical scenario
+// document and the study is served from (and written to) the same
+// durable content-addressed store wsnserved uses: a study the service
+// already answered prints without simulating, and vice versa.
 package main
 
 import (
@@ -34,7 +40,9 @@ import (
 	"wsnbcast/internal/grid"
 	"wsnbcast/internal/mc"
 	"wsnbcast/internal/profiling"
+	"wsnbcast/internal/scenario"
 	"wsnbcast/internal/sim"
+	"wsnbcast/internal/store"
 )
 
 type options struct {
@@ -50,6 +58,7 @@ type options struct {
 	lanes         int
 	disableRepair bool
 	jsonl         string
+	storeDir      string
 	cpuprofile    string
 	memprofile    string
 }
@@ -70,6 +79,7 @@ func main() {
 	flag.IntVar(&o.lanes, "lanes", 0, "lockstep lane batch width, 1-64 (0 = full 64-lane words)")
 	flag.BoolVar(&o.disableRepair, "disable-repair", false, "turn off the scheduler's repair pass")
 	flag.StringVar(&o.jsonl, "jsonl", "", "write per-replication records to this file as JSON lines")
+	flag.StringVar(&o.storeDir, "store", "", "durable result store directory shared with wsnserved (serves repeats without simulating; incompatible with -jsonl)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -206,6 +216,12 @@ func run(o options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.storeDir != "" {
+		if o.jsonl != "" {
+			return fmt.Errorf("-store serves aggregated results and has no per-replication records; drop -jsonl")
+		}
+		return runStored(o, w, topo, p, src, lossRates, failRates)
+	}
 
 	rep, err := mc.Run(context.Background(), mc.Spec{
 		Topology: topo, Protocol: p, Source: src,
@@ -227,6 +243,88 @@ func run(o options, w io.Writer) error {
 		}
 	}
 	return printReport(w, rep)
+}
+
+// runStored serves the study through the durable content-addressed
+// store shared with wsnserved: the flags compile to the equivalent
+// canonical /v1/run scenario document, so a study the service (or a
+// previous wsnmc invocation) already answered prints without
+// simulating, and a fresh study is stored for both to reuse. Results
+// are identical either way — the study is a pure function of the
+// canonical document.
+func runStored(o options, w io.Writer, topo grid.Topology, p sim.Protocol, src grid.Coord, lossRates, failRates []float64) error {
+	sc := scenario.Scenario{
+		Topology:      topologySpec(topo),
+		Protocol:      strings.ToLower(o.proto),
+		Sources:       []scenario.Point{{X: src.X, Y: src.Y, Z: src.Z}},
+		DisableRepair: o.disableRepair,
+		Reliability: &scenario.ReliabilitySpec{
+			Seed:         o.seed,
+			Replications: o.reps,
+			LossRates:    lossRates,
+			FailureRates: failRates,
+		},
+	}.Canonical()
+	key, err := store.Key("run", sc)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(o.storeDir)
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
+	}
+	defer st.Close()
+	body, ok := st.Get(key)
+	if !ok {
+		rep, err := sc.RunContext(context.Background())
+		if err != nil {
+			return err
+		}
+		if body, err = store.EncodeBody(rep); err != nil {
+			return err
+		}
+		// A write failure degrades the store to pass-through; the
+		// freshly computed body still prints.
+		st.Put(key, body)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("stored result for %s: %w", key, err)
+	}
+	return printReport(w, &mc.Report{
+		Topology:     topo.Kind().String(),
+		Nodes:        topo.NumNodes(),
+		Protocol:     p.Name(),
+		Source:       src.String(),
+		Seed:         o.seed,
+		Replications: o.reps,
+		Points:       rep.Reliability,
+	})
+}
+
+// topologySpec maps a compiled topology back to its scenario document
+// form.
+func topologySpec(t grid.Topology) scenario.TopologySpec {
+	m, n, l := t.Size()
+	spec := scenario.TopologySpec{Kind: kindDoc(t.Kind()), M: m, N: n}
+	if l > 1 {
+		spec.L = l
+	}
+	return spec
+}
+
+// kindDoc is the scenario-document spelling of a topology kind.
+func kindDoc(k grid.Kind) string {
+	switch k {
+	case grid.Mesh2D3:
+		return "2d3"
+	case grid.Mesh2D8:
+		return "2d8"
+	case grid.Mesh3D6:
+		return "3d6"
+	default:
+		return "2d4"
+	}
 }
 
 func writeJSONL(path string, records []mc.Record) error {

@@ -162,3 +162,45 @@ func TestCanonicalMeshDefault(t *testing.T) {
 		t.Errorf("canonical 3d6 header missing:\n%s", buf.String())
 	}
 }
+
+// TestStoreModeByteIdentical: with -store, the first invocation
+// computes and stores, repeats serve from the store, and every
+// invocation prints the exact bytes of the storeless path.
+func TestStoreModeByteIdentical(t *testing.T) {
+	var direct bytes.Buffer
+	if err := run(study(0), &direct); err != nil {
+		t.Fatal(err)
+	}
+
+	o := study(0)
+	o.storeDir = filepath.Join(t.TempDir(), "store")
+	var first bytes.Buffer
+	if err := run(o, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != direct.String() {
+		t.Errorf("store-mode output differs from direct output:\n--- direct\n%s--- store\n%s", direct.String(), first.String())
+	}
+	objects, err := filepath.Glob(filepath.Join(o.storeDir, "objects", "*", "*"))
+	if err != nil || len(objects) == 0 {
+		t.Fatalf("store holds no objects after the first run (%v)", err)
+	}
+	var second bytes.Buffer
+	if err := run(o, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != first.String() {
+		t.Error("store-served repeat differs from the computed run")
+	}
+}
+
+func TestStoreRejectsJSONL(t *testing.T) {
+	o := study(0)
+	o.storeDir = t.TempDir()
+	o.jsonl = filepath.Join(t.TempDir(), "runs.jsonl")
+	var buf bytes.Buffer
+	err := run(o, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-jsonl") {
+		t.Errorf("run(-store with -jsonl) = %v, want a -jsonl conflict error", err)
+	}
+}

@@ -7,8 +7,12 @@
 //	POST /v1/run       one broadcast (exactly one source)
 //	POST /v1/scenario  a full scenario document
 //	POST /v1/sweep     broadcast from every node (parallel sweep engine)
+//	POST /v1/jobs      submit an async job: {"kind": "run|scenario|sweep", "scenario": {...}}
+//	GET  /v1/jobs/{id}         poll a job (state, done/total points)
+//	GET  /v1/jobs/{id}/result  fetch the merged result (byte-identical to POST /v1/{kind})
+//	GET  /v1/jobs/{id}/events  stream progress as Server-Sent Events
 //	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      JSON counters: requests, cache, queue, latency
+//	GET  /metrics      JSON counters: requests, cache, store, jobs, queue, latency
 //
 // Identical requests — byte-different encodings included — are served
 // from an LRU result cache, and concurrent identical requests cost one
@@ -24,7 +28,15 @@
 //	wsnserved -addr :9000 -workers 4 -queue 128
 //	wsnserved -cache-entries 4096 -cache-mb 128
 //	wsnserved -timeout 10s -max-nodes 65536 -quiet
+//	wsnserved -store /var/lib/wsn/store  # durable results; jobs survive restarts
 //	wsnserved -pprof localhost:6060  # expose net/http/pprof separately
+//
+// With -store, every computed result is also written to a durable
+// content-addressed store in that directory (an L2 behind the in-memory
+// LRU, shareable between instances), and /v1/jobs jobs checkpoint
+// there: a job interrupted by a shutdown or crash resumes on the next
+// start, recomputing only its unfinished grid points. The same
+// directory can be handed to wsnmc/wsnsweep via their -store flag.
 //
 // The -pprof flag starts a second HTTP listener serving only the
 // net/http/pprof handlers (/debug/pprof/...). It is off by default and
@@ -46,7 +58,9 @@ import (
 	"syscall"
 	"time"
 
+	"wsnbcast/internal/jobs"
 	"wsnbcast/internal/service"
+	"wsnbcast/internal/store"
 )
 
 type options struct {
@@ -60,6 +74,8 @@ type options struct {
 	maxBodyKB    int
 	maxNodes     int
 	sweepWorkers int
+	storeDir     string
+	jobWorkers   int
 	drain        time.Duration
 	quiet        bool
 	pprofAddr    string
@@ -77,6 +93,8 @@ func main() {
 	flag.IntVar(&o.maxBodyKB, "max-body-kb", 1024, "request body limit in KiB")
 	flag.IntVar(&o.maxNodes, "max-nodes", 1<<17, "largest mesh (in nodes) a request may ask for")
 	flag.IntVar(&o.sweepWorkers, "sweep-workers", 0, "per-request sweep engine pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&o.storeDir, "store", "", "durable content-addressed result store directory (shared across instances; makes /v1/jobs jobs resumable)")
+	flag.IntVar(&o.jobWorkers, "job-workers", 0, "async job worker loops behind /v1/jobs (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown budget after SIGTERM")
 	flag.BoolVar(&o.quiet, "quiet", false, "disable the access log")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this extra address (off by default; not for production)")
@@ -101,6 +119,9 @@ func run(ctx context.Context, o options, ln net.Listener, logw io.Writer) error 
 	if o.sweepWorkers < 0 {
 		return fmt.Errorf("invalid -sweep-workers %d: must be >= 0 (0 means GOMAXPROCS)", o.sweepWorkers)
 	}
+	if o.jobWorkers < 0 {
+		return fmt.Errorf("invalid -job-workers %d: must be >= 0 (0 means GOMAXPROCS)", o.jobWorkers)
+	}
 	var accessLog io.Writer
 	if !o.quiet {
 		accessLog = logw
@@ -119,6 +140,27 @@ func run(ctx context.Context, o options, ln net.Listener, logw io.Writer) error 
 		go psrv.Serve(pln)
 		defer psrv.Close()
 	}
+	// With -store, results and job state are durable: the store fronts
+	// the LRU as an L2 shared by every instance pointed at the
+	// directory, and jobs interrupted by a previous shutdown or crash
+	// resume before the listener opens.
+	var st *store.Store
+	var mgr *jobs.Manager
+	if o.storeDir != "" {
+		var err error
+		st, err = store.Open(o.storeDir)
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		mgr = jobs.NewManager(jobs.Config{Store: st, Workers: o.jobWorkers})
+		resumed, err := mgr.Recover()
+		if err != nil {
+			return fmt.Errorf("recover jobs: %w", err)
+		}
+		if resumed > 0 {
+			fmt.Fprintf(logw, "wsnserved: resumed %d unfinished job(s) from %s\n", resumed, o.storeDir)
+		}
+	}
 	svc := service.New(service.Config{
 		Workers:        o.workers,
 		QueueCap:       o.queue,
@@ -129,6 +171,9 @@ func run(ctx context.Context, o options, ln net.Listener, logw io.Writer) error 
 		MaxBodyBytes:   int64(o.maxBodyKB) << 10,
 		MaxNodes:       o.maxNodes,
 		SweepWorkers:   o.sweepWorkers,
+		Store:          st,
+		Jobs:           mgr,
+		JobWorkers:     o.jobWorkers,
 		AccessLog:      accessLog,
 	})
 	if ln == nil {

@@ -14,11 +14,18 @@
 //	wsnsweep -proto flooding       # a baseline protocol
 //	wsnsweep -m 20 -n 12 -l 1      # custom mesh size
 //	wsnsweep -workers 4            # bound the worker pool (0 = GOMAXPROCS)
+//	wsnsweep -store DIR            # share wsnserved's durable result store
+//
+// With -store, each topology's sweep is served from (and written to)
+// the same content-addressed store wsnserved uses, so sweeps the
+// service already answered emit their CSV without simulating — and
+// sweeps computed here serve later /v1/sweep requests.
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +34,9 @@ import (
 
 	"wsnbcast/internal/core"
 	"wsnbcast/internal/grid"
+	"wsnbcast/internal/scenario"
 	"wsnbcast/internal/sim"
+	"wsnbcast/internal/store"
 	"wsnbcast/internal/sweep"
 )
 
@@ -38,9 +47,10 @@ func main() {
 	n := flag.Int("n", 0, "mesh height")
 	l := flag.Int("l", 0, "mesh depth (3d6)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	storeDir := flag.String("store", "", "durable result store directory shared with wsnserved (serves repeats without simulating)")
 	flag.Parse()
 
-	if err := run(*topoName, *protoName, *m, *n, *l, *workers); err != nil {
+	if err := run(*topoName, *protoName, *m, *n, *l, *workers, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "wsnsweep:", err)
 		os.Exit(1)
 	}
@@ -119,16 +129,17 @@ func row(j sweep.Job, r *sim.Result) []string {
 	}
 }
 
-func run(topoName, protoName string, m, n, l, workers int) error {
+func run(topoName, protoName string, m, n, l, workers int, storeDir string) error {
 	if workers < 0 {
 		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 means GOMAXPROCS)", workers)
 	}
-	js, err := jobs(topoName, protoName, m, n, l)
+	// Validate the selection before the header hits stdout, so bad
+	// flags fail with a clean message and no partial CSV.
+	ks, err := kinds(topoName)
 	if err != nil {
 		return err
 	}
-	outs, err := sweep.New(workers).Run(context.Background(), js)
-	if err != nil {
+	if _, err := protocol(protoName, ks[0]); err != nil {
 		return err
 	}
 	w := csv.NewWriter(os.Stdout)
@@ -136,6 +147,17 @@ func run(topoName, protoName string, m, n, l, workers int) error {
 	header := []string{"topology", "protocol", "src_x", "src_y", "src_z",
 		"tx", "rx", "energy_j", "delay", "collisions", "duplicates", "repairs", "reached", "total"}
 	if err := w.Write(header); err != nil {
+		return err
+	}
+	if storeDir != "" {
+		return runStored(w, ks, protoName, m, n, l, workers, storeDir)
+	}
+	js, err := jobs(topoName, protoName, m, n, l)
+	if err != nil {
+		return err
+	}
+	outs, err := sweep.New(workers).Run(context.Background(), js)
+	if err != nil {
 		return err
 	}
 	for _, o := range outs {
@@ -147,4 +169,95 @@ func run(topoName, protoName string, m, n, l, workers int) error {
 		}
 	}
 	return nil
+}
+
+// runStored serves each topology's sweep through the durable
+// content-addressed store shared with wsnserved: the flags compile to
+// the canonical /v1/sweep scenario document per topology, so a sweep
+// the service (or a previous invocation) already computed prints
+// without simulating, and fresh sweeps are stored for both to reuse.
+// The CSV is byte-identical to the direct path — rows reconstruct from
+// the stored report's runs, which round-trip float64 exactly.
+func runStored(w *csv.Writer, ks []grid.Kind, protoName string, m, n, l, workers int, storeDir string) error {
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
+	}
+	defer st.Close()
+	for _, k := range ks {
+		topo := grid.Canonical(k)
+		if m > 0 && n > 0 {
+			depth := 1
+			if k == grid.Mesh3D6 {
+				depth = l
+				if depth <= 0 {
+					depth = 1
+				}
+			}
+			topo = grid.New(k, m, n, depth)
+		}
+		p, err := protocol(protoName, k)
+		if err != nil {
+			return err
+		}
+		tm, tn, tl := topo.Size()
+		spec := scenario.TopologySpec{Kind: kindDoc(k), M: tm, N: tn}
+		if tl > 1 {
+			spec.L = tl
+		}
+		sc := scenario.Scenario{Topology: spec, Protocol: strings.ToLower(protoName)}.Canonical()
+		key, err := store.Key("sweep", sc)
+		if err != nil {
+			return err
+		}
+		body, ok := st.Get(key)
+		if !ok {
+			rep, err := sc.SweepReport(context.Background(), workers, nil)
+			if err != nil {
+				return err
+			}
+			if body, err = store.EncodeBody(rep); err != nil {
+				return err
+			}
+			st.Put(key, body)
+		}
+		var rep scenario.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			return fmt.Errorf("stored result for %s: %w", key, err)
+		}
+		for i := range rep.Runs {
+			if err := w.Write(storedRow(k, p, &rep.Runs[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// storedRow renders one stored run as the same CSV row the direct
+// path produces.
+func storedRow(k grid.Kind, p sim.Protocol, r *scenario.RunReport) []string {
+	return []string{
+		k.String(), p.Name(),
+		strconv.Itoa(r.Source.X), strconv.Itoa(r.Source.Y), strconv.Itoa(r.Source.Z),
+		strconv.Itoa(r.Tx), strconv.Itoa(r.Rx),
+		strconv.FormatFloat(r.EnergyJ, 'e', 6, 64),
+		strconv.Itoa(r.Delay), strconv.Itoa(r.Collisions),
+		strconv.Itoa(r.Duplicates), strconv.Itoa(r.Repairs),
+		strconv.Itoa(r.Reached), strconv.Itoa(r.Total),
+	}
+}
+
+// kindDoc is the scenario-document spelling of a topology kind.
+func kindDoc(k grid.Kind) string {
+	switch k {
+	case grid.Mesh2D3:
+		return "2d3"
+	case grid.Mesh2D8:
+		return "2d8"
+	case grid.Mesh3D6:
+		return "3d6"
+	default:
+		return "2d4"
+	}
 }

@@ -1,12 +1,19 @@
 package main
 
 import (
+	"context"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"wsnbcast/internal/grid"
+	"wsnbcast/internal/service"
+	"wsnbcast/internal/store"
 )
 
 func capture(t *testing.T, f func() error) (string, error) {
@@ -31,7 +38,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestSweepCSV(t *testing.T) {
-	out, err := capture(t, func() error { return run("2d4", "paper", 6, 4, 0, 0) })
+	out, err := capture(t, func() error { return run("2d4", "paper", 6, 4, 0, 0, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +61,7 @@ func TestSweepCSV(t *testing.T) {
 }
 
 func TestSweepFloodingProto(t *testing.T) {
-	out, err := capture(t, func() error { return run("2d8", "flooding-jitter", 5, 4, 0, 0) })
+	out, err := capture(t, func() error { return run("2d8", "flooding-jitter", 5, 4, 0, 0, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +76,7 @@ func TestSweepWorkersByteIdentical(t *testing.T) {
 	var want string
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
-		out, err := capture(t, func() error { return run("", "paper", 8, 4, 2, workers) })
+		out, err := capture(t, func() error { return run("", "paper", 8, 4, 2, workers, "") })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -101,8 +108,63 @@ func TestKindsAndProtocolParsing(t *testing.T) {
 }
 
 func TestRejectsNegativeWorkers(t *testing.T) {
-	err := run("2d4", "paper", 4, 4, 0, -1)
+	err := run("2d4", "paper", 4, 4, 0, -1, "")
 	if err == nil || !strings.Contains(err.Error(), "-workers") {
 		t.Errorf("run(workers=-1) = %v, want -workers validation error", err)
+	}
+}
+
+// TestStoreModeByteIdentical: with -store, the first invocation
+// computes and stores each topology's sweep, repeats serve from the
+// store, and the CSV is byte-identical to the direct path either way.
+func TestStoreModeByteIdentical(t *testing.T) {
+	direct, err := capture(t, func() error { return run("", "paper", 6, 4, 2, 0, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	first, err := capture(t, func() error { return run("", "paper", 6, 4, 2, 0, dir) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != direct {
+		t.Errorf("store-mode CSV differs from direct CSV:\n--- direct\n%s--- store\n%s", direct, first)
+	}
+	second, err := capture(t, func() error { return run("", "paper", 6, 4, 2, 0, dir) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Error("store-served repeat differs from the computed run")
+	}
+}
+
+// TestStoreSharedWithService: a sweep computed by the CLI serves the
+// HTTP service from the store without simulating, byte-identically —
+// the CLI and the service share one content-addressed identity.
+func TestStoreSharedWithService(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, err := capture(t, func() error { return run("2d4", "paper", 6, 4, 0, 0, dir) }); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Store: st})
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep",
+		strings.NewReader(`{"topology": {"kind": "2d4", "m": 6, "n": 4}}`))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("service sweep over CLI store: %d, body %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Cache"); got != "store" {
+		t.Errorf("X-Cache = %q, want store (CLI-computed entry)", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
 	}
 }

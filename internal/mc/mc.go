@@ -199,6 +199,24 @@ func CanonicalRates(in []float64) []float64 {
 	return dedup
 }
 
+// RunPoint runs the study restricted to a single (loss, failure) grid
+// point and returns that point's aggregate. Replication seeds depend
+// only on the replication index — never on the grid shape — and every
+// point aggregates its own replications independently, so the returned
+// Point is byte-identical to the corresponding entry of a full-grid
+// Run. This is the decomposition the distributed job coordinator
+// shards on: one RunPoint per grid point, merged in (failure-major,
+// loss-minor) order, reproduces the serial study exactly.
+func RunPoint(ctx context.Context, spec Spec, loss, failure float64) (Point, error) {
+	spec.LossRates = []float64{loss}
+	spec.FailureRates = []float64{failure}
+	rep, err := Run(ctx, spec)
+	if err != nil {
+		return Point{}, err
+	}
+	return rep.Points[0], nil
+}
+
 // repOut is one replication's slot in the batch output matrix: exactly
 // one of a usable result and an error once its batch ran.
 type repOut struct {

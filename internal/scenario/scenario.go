@@ -22,16 +22,18 @@ import (
 	"wsnbcast/internal/pipeline"
 	"wsnbcast/internal/radio"
 	"wsnbcast/internal/sim"
+	"wsnbcast/internal/sweep"
 )
 
-// Point is a JSON-friendly coordinate (Z defaults to 1).
+// Point is a JSON-friendly coordinate (Z defaults to 1). Coord
+// converts it to the simulator's grid coordinate.
 type Point struct {
 	X int `json:"x"`
 	Y int `json:"y"`
 	Z int `json:"z,omitempty"`
 }
 
-func (p Point) coord() grid.Coord {
+func (p Point) Coord() grid.Coord {
 	z := p.Z
 	if z == 0 {
 		z = 1
@@ -116,6 +118,7 @@ type RunReport struct {
 	Reached    int     `json:"reached"`
 	Total      int     `json:"total"`
 	Collisions int     `json:"collisions"`
+	Duplicates int     `json:"duplicates"`
 	Repairs    int     `json:"repairs"`
 }
 
@@ -230,7 +233,7 @@ func (s Scenario) simConfig() (sim.Config, error) {
 		cfg.Packet = p
 	}
 	for _, d := range s.Down {
-		cfg.Down = append(cfg.Down, d.coord())
+		cfg.Down = append(cfg.Down, d.Coord())
 	}
 	cfg.DisableRepair = s.DisableRepair
 	return cfg, nil
@@ -331,8 +334,8 @@ func (s Scenario) Compile() (grid.Topology, sim.Protocol, sim.Config, error) {
 		return nil, nil, sim.Config{}, err
 	}
 	for _, src := range s.Sources {
-		if !topo.Contains(src.coord()) {
-			return nil, nil, sim.Config{}, fmt.Errorf("scenario: source %s outside the %s mesh", src.coord(), topo.Kind())
+		if !topo.Contains(src.Coord()) {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: source %s outside the %s mesh", src.Coord(), topo.Kind())
 		}
 	}
 	for _, d := range cfg.Down {
@@ -407,16 +410,17 @@ func (s Scenario) RunContext(ctx context.Context) (Report, error) {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
-		r, err := sim.Run(topo, p, src.coord(), cfg)
+		r, err := sim.Run(topo, p, src.Coord(), cfg)
 		if err != nil {
 			return rep, err
 		}
 		rep.Runs = append(rep.Runs, RunReport{
 			Source: src, Tx: r.Tx, Rx: r.Rx, EnergyJ: r.EnergyJ, Delay: r.Delay,
-			Reached: r.Reached, Total: r.Total, Collisions: r.Collisions, Repairs: r.Repairs,
+			Reached: r.Reached, Total: r.Total, Collisions: r.Collisions,
+			Duplicates: r.Duplicates, Repairs: r.Repairs,
 		})
 	}
-	first := s.Sources[0].coord()
+	first := s.Sources[0].Coord()
 
 	if s.Reliability != nil {
 		if err := ctx.Err(); err != nil {
@@ -486,6 +490,60 @@ func (s Scenario) RunContext(ctx context.Context) (Report, error) {
 		rep.ConvergeSlots = cc.Slots
 	}
 	return rep, nil
+}
+
+// SweepReport broadcasts from every node on the parallel sweep engine
+// and reports one row per source plus the paper's best/worst/max-delay
+// summary — the body of the HTTP service's /v1/sweep endpoint, shared
+// with the CLIs and the job subsystem so all three render byte-identical
+// sweep reports. workers sizes the engine (<= 0: GOMAXPROCS); g, when
+// non-nil, receives pending-job deltas. The context propagates into the
+// engine, so an expired deadline stops the sweep between jobs.
+func (s Scenario) SweepReport(ctx context.Context, workers int, g sweep.Gauge) (Report, error) {
+	topo, p, cfg, err := s.Compile()
+	if err != nil {
+		return Report{}, err
+	}
+	eng := sweep.New(workers)
+	if g != nil {
+		eng = eng.WithGauge(g)
+	}
+	results, err := eng.SweepSources(ctx, topo, p, cfg, nil)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Name: s.Name, Topology: s.Topology.Kind, Protocol: p.Name()}
+	rep.Runs = make([]RunReport, len(results))
+	for i, r := range results {
+		src := topo.At(i)
+		rep.Runs[i] = RunReport{
+			Source: Point{X: src.X, Y: src.Y, Z: src.Z},
+			Tx:     r.Tx, Rx: r.Rx, EnergyJ: r.EnergyJ, Delay: r.Delay,
+			Reached: r.Reached, Total: r.Total, Collisions: r.Collisions,
+			Duplicates: r.Duplicates, Repairs: r.Repairs,
+		}
+	}
+	SweepSummary(&rep)
+	return rep, nil
+}
+
+// SweepSummary recomputes a sweep report's best/worst/max-delay summary
+// from its per-source rows. The job subsystem uses it to rebuild the
+// summary after merging distributed rows; for float64 values that
+// round-tripped through JSON the result is bit-identical to the summary
+// SweepReport computed inline.
+func SweepSummary(rep *Report) {
+	for i, r := range rep.Runs {
+		if i == 0 || r.EnergyJ < rep.BestEnergyJ {
+			rep.BestEnergyJ = r.EnergyJ
+		}
+		if i == 0 || r.EnergyJ > rep.WorstEnergyJ {
+			rep.WorstEnergyJ = r.EnergyJ
+		}
+		if r.Delay > rep.MaxDelay {
+			rep.MaxDelay = r.Delay
+		}
+	}
 }
 
 // Write renders the report as indented JSON.

@@ -20,6 +20,7 @@ type cache struct {
 	maxEntries int
 	maxBytes   int64
 	bytes      int64
+	evictions  uint64
 	ll         *list.List // front = most recently used
 	items      map[string]*list.Element
 }
@@ -82,7 +83,16 @@ func (c *cache) Put(key string, body []byte) {
 		c.ll.Remove(back)
 		delete(c.items, e.key)
 		c.bytes -= int64(len(e.body))
+		c.evictions++
 	}
+}
+
+// Evictions returns the number of entries evicted over the cache's
+// lifetime.
+func (c *cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Len returns the number of cached entries.

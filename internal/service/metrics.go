@@ -5,6 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wsnbcast/internal/jobs"
+	"wsnbcast/internal/store"
 )
 
 // latencyBoundsMs are the histogram bucket upper bounds in
@@ -77,17 +80,23 @@ type latencyBucket struct {
 
 // snapshot is the JSON document served at /metrics.
 type snapshot struct {
-	Requests     map[string]map[string]uint64 `json:"requests"`
-	CacheHits    uint64                       `json:"cache_hits"`
-	CacheMisses  uint64                       `json:"cache_misses"`
-	CacheEntries int                          `json:"cache_entries"`
-	CacheBytes   int64                        `json:"cache_bytes"`
-	InFlight     int64                        `json:"in_flight"`
-	QueueDepth   int                          `json:"queue_depth"`
-	SweepPending int64                        `json:"sweep_pending"`
-	Executions   uint64                       `json:"executions"`
-	Shed         uint64                       `json:"shed"`
-	Latency      []latencyBucket              `json:"latency_ms"`
+	Requests       map[string]map[string]uint64 `json:"requests"`
+	CacheHits      uint64                       `json:"cache_hits"`
+	CacheMisses    uint64                       `json:"cache_misses"`
+	CacheEntries   int                          `json:"cache_entries"`
+	CacheBytes     int64                        `json:"cache_bytes"`
+	CacheEvictions uint64                       `json:"cache_evictions"`
+	InFlight       int64                        `json:"in_flight"`
+	QueueDepth     int                          `json:"queue_depth"`
+	SweepPending   int64                        `json:"sweep_pending"`
+	Executions     uint64                       `json:"executions"`
+	Shed           uint64                       `json:"shed"`
+	// Store holds the durable result store's counters when one is
+	// configured; Jobs holds the async job subsystem's counters and
+	// gauges.
+	Store   *store.Stats    `json:"store,omitempty"`
+	Jobs    *jobs.Stats     `json:"jobs,omitempty"`
+	Latency []latencyBucket `json:"latency_ms"`
 }
 
 // Snapshot copies the counters; queue depth and cache sizing are the

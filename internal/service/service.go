@@ -31,20 +31,20 @@ package service
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wsnbcast/internal/jobs"
 	"wsnbcast/internal/scenario"
-	"wsnbcast/internal/sweep"
+	"wsnbcast/internal/store"
 )
 
 // Config sizes the service; zero values mean the stated defaults.
@@ -77,6 +77,18 @@ type Config struct {
 	// SweepWorkers sizes the per-request sweep engine of /v1/sweep
 	// (<= 0: GOMAXPROCS).
 	SweepWorkers int
+	// Store, when non-nil, is the durable content-addressed result
+	// store: an L2 behind the LRU shared by every instance pointed at
+	// the same directory, and the durability layer of the job
+	// subsystem. The server owns it from here — Drain closes it last.
+	Store *store.Store
+	// Jobs, when non-nil, is the async job manager behind /v1/jobs.
+	// Nil constructs one over Store with JobWorkers worker loops.
+	// Either way the server owns it: Drain checkpoints and closes it.
+	Jobs *jobs.Manager
+	// JobWorkers sizes the constructed job manager's worker loops
+	// (<= 0: GOMAXPROCS); ignored when Jobs is supplied.
+	JobWorkers int
 	// AccessLog, when non-nil, receives one JSON line per request.
 	AccessLog io.Writer
 }
@@ -117,6 +129,7 @@ type Server struct {
 	cache    *cache
 	flight   flightGroup
 	pool     *pool
+	jobs     *jobs.Manager
 	metrics  *metrics
 	draining atomic.Bool
 	logMu    sync.Mutex
@@ -136,9 +149,17 @@ func New(cfg Config) *Server {
 		pool:    newPool(cfg.Workers, cfg.QueueCap),
 		metrics: newMetrics(),
 	}
+	s.jobs = cfg.Jobs
+	if s.jobs == nil {
+		s.jobs = jobs.NewManager(jobs.Config{Store: cfg.Store, Workers: cfg.JobWorkers})
+	}
 	s.mux.HandleFunc("POST /v1/run", s.handleSim("run", prepRun, s.execScenario))
 	s.mux.HandleFunc("POST /v1/scenario", s.handleSim("scenario", prepScenario, s.execScenario))
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSim("sweep", prepSweep, s.execSweep))
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -150,10 +171,23 @@ func New(cfg Config) *Server {
 // it during graceful shutdown, after http.Server.Shutdown has stopped
 // accepting connections. Once /healthz reports draining, admission is
 // guaranteed closed.
+//
+// The shutdown order is: close pool admission, mark draining, stop
+// the job subsystem (its in-flight points drain to the store and
+// every unfinished job is checkpointed for the next process's
+// Recover), await the request pool, and only then close the store —
+// nothing writes to it after both the job workers and the pool are
+// idle.
 func (s *Server) Drain(ctx context.Context) error {
 	s.pool.CloseAdmission()
 	s.draining.Store(true)
-	return s.pool.AwaitIdle(ctx)
+	jerr := s.jobs.Close(ctx)
+	perr := s.pool.AwaitIdle(ctx)
+	var serr error
+	if s.cfg.Store != nil {
+		serr = s.cfg.Store.Close()
+	}
+	return errors.Join(jerr, perr, serr)
 }
 
 // ServeHTTP dispatches to the endpoint handlers, wrapped in the
@@ -183,6 +217,9 @@ func endpointLabel(path string) string {
 	case "/metrics":
 		return "metrics"
 	default:
+		if path == "/v1/jobs" || strings.HasPrefix(path, "/v1/jobs/") {
+			return "jobs"
+		}
 		return "other"
 	}
 }
@@ -205,6 +242,10 @@ func (r *responseRecorder) Write(b []byte) (int, error) {
 	r.bytes += n
 	return n, err
 }
+
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// streaming handlers can flush through the middleware.
+func (r *responseRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func (s *Server) logAccess(r *http.Request, rec *responseRecorder, elapsed time.Duration) {
 	if s.cfg.AccessLog == nil {
@@ -284,25 +325,9 @@ func (s *Server) handleSim(endpoint string, prep func(scenario.Scenario) error, 
 			s.fail(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		topo, _, _, err := sc.Compile()
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, err.Error())
+		if status, msg := s.checkLimits(sc); status != 0 {
+			s.fail(w, status, msg)
 			return
-		}
-		if n := topo.NumNodes(); n > s.cfg.MaxNodes {
-			s.fail(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("mesh too large: %d nodes (limit %d)", n, s.cfg.MaxNodes))
-			return
-		}
-		if rel := sc.Reliability; rel != nil {
-			// The grids are canonical here, so the product is the exact
-			// number of simulation jobs the study would admit.
-			jobs := rel.Replications * len(rel.LossRates) * len(rel.FailureRates)
-			if jobs > s.cfg.MaxReliabilityJobs {
-				s.fail(w, http.StatusRequestEntityTooLarge,
-					fmt.Sprintf("reliability study too large: %d simulation jobs (limit %d)", jobs, s.cfg.MaxReliabilityJobs))
-				return
-			}
 		}
 		timeout, err := s.requestTimeout(r)
 		if err != nil {
@@ -321,6 +346,16 @@ func (s *Server) handleSim(endpoint string, prep func(scenario.Scenario) error, 
 			return
 		}
 		s.metrics.cacheMisses.Add(1)
+		// The durable store is the L2 behind the LRU: results computed
+		// by a previous process, a finished /v1/jobs job, or another
+		// instance sharing the directory serve without simulating.
+		if s.cfg.Store != nil {
+			if body, ok := s.cfg.Store.Get(key); ok {
+				s.cache.Put(key, body)
+				s.writeBody(w, "store", body)
+				return
+			}
+		}
 
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
@@ -330,6 +365,11 @@ func (s *Server) handleSim(endpoint string, prep func(scenario.Scenario) error, 
 			// same key stored its result must not simulate again.
 			if body, ok := s.cache.Get(key); ok {
 				return body, nil
+			}
+			if s.cfg.Store != nil {
+				if body, ok := s.cfg.Store.Get(key); ok {
+					return body, nil
+				}
 			}
 			return s.pool.Do(ctx, func(ctx context.Context) ([]byte, error) {
 				if s.hookBeforeJob != nil {
@@ -353,9 +393,39 @@ func (s *Server) handleSim(endpoint string, prep func(scenario.Scenario) error, 
 		}
 		if !joined {
 			s.cache.Put(key, body)
+			if s.cfg.Store != nil {
+				// Write-through; a full or failing disk degrades the
+				// store to a cache layer, never the response.
+				s.cfg.Store.Put(key, body)
+			}
 		}
 		s.writeBody(w, "miss", body)
 	}
+}
+
+// checkLimits enforces the size caps shared by the synchronous
+// endpoints and job submission on a canonicalized scenario. It returns
+// (0, "") for an admissible document, else the HTTP status and
+// message to reject with.
+func (s *Server) checkLimits(sc scenario.Scenario) (int, string) {
+	topo, _, _, err := sc.Compile()
+	if err != nil {
+		return http.StatusBadRequest, err.Error()
+	}
+	if n := topo.NumNodes(); n > s.cfg.MaxNodes {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("mesh too large: %d nodes (limit %d)", n, s.cfg.MaxNodes)
+	}
+	if rel := sc.Reliability; rel != nil {
+		// The grids are canonical here, so the product is the exact
+		// number of simulation jobs the study would admit.
+		jobs := rel.Replications * len(rel.LossRates) * len(rel.FailureRates)
+		if jobs > s.cfg.MaxReliabilityJobs {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("reliability study too large: %d simulation jobs (limit %d)", jobs, s.cfg.MaxReliabilityJobs)
+		}
+	}
+	return 0, ""
 }
 
 // requestTimeout resolves the per-request deadline: ?timeout_ms=
@@ -377,14 +447,12 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 
 // requestKey is the cache/singleflight identity of a canonicalized
 // request: the endpoint (the three endpoints answer different shapes)
-// plus the SHA-256 of the canonical JSON encoding.
+// plus the SHA-256 of the canonical JSON encoding. It delegates to
+// store.Key so the synchronous path, the durable store and the job
+// subsystem share one identity — a finished job IS a cache entry for
+// the equivalent synchronous request.
 func requestKey(endpoint string, sc scenario.Scenario) (string, error) {
-	b, err := json.Marshal(sc)
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(b)
-	return endpoint + ":" + hex.EncodeToString(sum[:]), nil
+	return store.Key(endpoint, sc)
 }
 
 // execScenario runs /v1/run and /v1/scenario bodies; the shape checks
@@ -398,37 +466,15 @@ func (s *Server) execScenario(ctx context.Context, sc scenario.Scenario) (any, e
 }
 
 // execSweep broadcasts from every node on the parallel sweep engine
-// and reports one row per source plus the paper's summary statistics.
+// and reports one row per source plus the paper's summary statistics —
+// the shared scenario.SweepReport path, so the synchronous endpoint,
+// the job subsystem and the wsnsweep CLI render byte-identical bodies.
 // The request context propagates into the engine, so an expired
 // deadline stops the sweep between jobs.
 func (s *Server) execSweep(ctx context.Context, sc scenario.Scenario) (any, error) {
-	topo, p, cfg, err := sc.Compile()
+	rep, err := sc.SweepReport(ctx, s.cfg.SweepWorkers, s.metrics.SweepGauge())
 	if err != nil {
 		return nil, err
-	}
-	eng := sweep.New(s.cfg.SweepWorkers).WithGauge(s.metrics.SweepGauge())
-	results, err := eng.SweepSources(ctx, topo, p, cfg, nil)
-	if err != nil {
-		return nil, err
-	}
-	rep := scenario.Report{Name: sc.Name, Topology: sc.Topology.Kind, Protocol: p.Name()}
-	rep.Runs = make([]scenario.RunReport, len(results))
-	for i, r := range results {
-		src := topo.At(i)
-		rep.Runs[i] = scenario.RunReport{
-			Source: scenario.Point{X: src.X, Y: src.Y, Z: src.Z},
-			Tx:     r.Tx, Rx: r.Rx, EnergyJ: r.EnergyJ, Delay: r.Delay,
-			Reached: r.Reached, Total: r.Total, Collisions: r.Collisions, Repairs: r.Repairs,
-		}
-		if i == 0 || r.EnergyJ < rep.BestEnergyJ {
-			rep.BestEnergyJ = r.EnergyJ
-		}
-		if i == 0 || r.EnergyJ > rep.WorstEnergyJ {
-			rep.WorstEnergyJ = r.EnergyJ
-		}
-		if r.Delay > rep.MaxDelay {
-			rep.MaxDelay = r.Delay
-		}
 	}
 	return rep, nil
 }
@@ -447,6 +493,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.QueueDepth = s.pool.QueueDepth()
 	snap.CacheEntries = s.cache.Len()
 	snap.CacheBytes = s.cache.Bytes()
+	snap.CacheEvictions = s.cache.Evictions()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		snap.Store = &st
+	}
+	js := s.jobs.Stats()
+	snap.Jobs = &js
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -28,6 +28,7 @@ bench:
 	$(GO) test ./internal/sweep -bench=Sweep -benchtime=3x -run=^$$
 	$(GO) test ./internal/service -bench=Served -benchtime=100x -run=^$$
 	$(GO) test ./internal/mc -bench=MCLockstep -benchtime=3x -run=^$$
+	$(GO) test ./internal/life -bench=Lifetime -benchtime=3x -run=^$$
 
 # Engine-overhaul measurement pipeline. bench/baseline.txt pins the
 # pre-optimization numbers (same commands, run at the commit before the
@@ -38,6 +39,7 @@ bench-engine:
 	$(GO) test ./internal/sim -run='^$$' -bench='^BenchmarkEngine' -benchmem | tee bench/current.txt
 	$(GO) test ./internal/mc -run='^$$' -bench=. -benchmem | tee -a bench/current.txt
 	$(GO) test ./internal/sweep -run='^$$' -bench=. -benchmem -benchtime=2x | tee -a bench/current.txt
+	$(GO) test ./internal/life -run='^$$' -bench=. -benchmem | tee -a bench/current.txt
 
 # Large-grid scaling suite (64^2 to 1024^2 plus 128^3): the implicit
 # fast path at Workers=1 and auto, the forced materialized path, the
@@ -79,11 +81,14 @@ lane-guard:
 	@$(GO) test ./internal/mc -run='^$$' -list='^TestLockstepLaneWidthsIdenticalReports$$' | grep -q '^TestLockstepLaneWidthsIdenticalReports$$' || \
 		{ echo "verify: TestLockstepLaneWidthsIdenticalReports missing from internal/mc"; exit 1; }
 
-# Short fuzz smoke over the lane randomness layer — the corpus seeds
-# plus a few seconds of mutation; CI runs this on every push.
+# Short fuzz smoke over the counter-based randomness layers — the
+# corpus seeds plus a few seconds of mutation; CI runs this on every
+# push. The churn target proves the lifetime engine's churn draws
+# never collide with the loss/failure/replication key domains.
 fuzz-smoke:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzLaneLossMask -fuzztime=5s
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzLaneFailureMasks -fuzztime=5s
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzChurnDomainDisjoint -fuzztime=5s
 
 verify: lane-guard build vet test race
 

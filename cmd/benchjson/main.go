@@ -59,8 +59,10 @@ type entry struct {
 //
 //	BenchmarkEngine/2D-4    34014    36140 ns/op    36536 B/op    358 allocs/op
 //
-// The B/op and allocs/op columns are optional (plain -bench output).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+// The B/op and allocs/op columns are optional (plain -bench output),
+// and custom b.ReportMetric columns — "1062 rounds/sec" — may appear
+// between ns/op and B/op without hiding the allocation numbers.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.eE+-]+ \S+)*?(?:\s+(\d+) B/op\s+(\d+) allocs/op)?\s*$`)
 
 // parseBench reads `go test -bench` text output, returning metrics
 // keyed by "pkg.Name" (the pkg: header lines scope the names, so equal

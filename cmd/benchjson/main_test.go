@@ -48,6 +48,21 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// TestParseBenchCustomMetricColumns: b.ReportMetric columns between
+// ns/op and B/op must not hide the allocation numbers.
+func TestParseBenchCustomMetricColumns(t *testing.T) {
+	const row = "pkg: wsnbcast/internal/life\n" +
+		"BenchmarkLifetime \t      19\t  60279110 ns/op\t      1062 rounds/sec\t24145510 B/op\t    3447 allocs/op\n"
+	results, _, err := parseBench(strings.NewReader(row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := results["wsnbcast/internal/life.BenchmarkLifetime"]
+	if m.NsPerOp != 60279110 || m.BytesPerOp != 24145510 || m.AllocsPerOp != 3447 || m.Iterations != 19 {
+		t.Errorf("custom-metric row parsed wrong: %+v", m)
+	}
+}
+
 func TestParseBenchWithoutBenchmem(t *testing.T) {
 	results, _, err := parseBench(strings.NewReader("pkg: p\nBenchmarkX \t 10\t 123 ns/op\n"))
 	if err != nil {

@@ -7,7 +7,8 @@
 //	POST /v1/run       one broadcast (exactly one source)
 //	POST /v1/scenario  a full scenario document
 //	POST /v1/sweep     broadcast from every node (parallel sweep engine)
-//	POST /v1/jobs      submit an async job: {"kind": "run|scenario|sweep", "scenario": {...}}
+//	POST /v1/lifetime  a multi-round lifetime study (battery depletion, churn, rotation)
+//	POST /v1/jobs      submit an async job: {"kind": "run|scenario|sweep|lifetime", "scenario": {...}}
 //	GET  /v1/jobs/{id}         poll a job (state, done/total points)
 //	GET  /v1/jobs/{id}/result  fetch the merged result (byte-identical to POST /v1/{kind})
 //	GET  /v1/jobs/{id}/events  stream progress as Server-Sent Events
@@ -29,6 +30,7 @@
 //	wsnserved -cache-entries 4096 -cache-mb 128
 //	wsnserved -timeout 10s -max-nodes 65536 -quiet
 //	wsnserved -store /var/lib/wsn/store  # durable results; jobs survive restarts
+//	wsnserved -store /var/lib/wsn/store -store-max-bytes 268435456  # cap the store at 256 MiB
 //	wsnserved -pprof localhost:6060  # expose net/http/pprof separately
 //
 // With -store, every computed result is also written to a durable
@@ -37,6 +39,10 @@
 // there: a job interrupted by a shutdown or crash resumes on the next
 // start, recomputing only its unfinished grid points. The same
 // directory can be handed to wsnmc/wsnsweep via their -store flag.
+// With -store-max-bytes, the store's object area is size-capped:
+// exceeding the cap evicts the oldest results first (they are caches
+// of deterministic computations, so eviction costs at most a
+// recomputation); job records are exempt.
 //
 // The -pprof flag starts a second HTTP listener serving only the
 // net/http/pprof handlers (/debug/pprof/...). It is off by default and
@@ -73,9 +79,10 @@ type options struct {
 	maxTimeout   time.Duration
 	maxBodyKB    int
 	maxNodes     int
-	sweepWorkers int
-	storeDir     string
-	jobWorkers   int
+	sweepWorkers  int
+	storeDir      string
+	storeMaxBytes int64
+	jobWorkers    int
 	drain        time.Duration
 	quiet        bool
 	pprofAddr    string
@@ -94,6 +101,7 @@ func main() {
 	flag.IntVar(&o.maxNodes, "max-nodes", 1<<17, "largest mesh (in nodes) a request may ask for")
 	flag.IntVar(&o.sweepWorkers, "sweep-workers", 0, "per-request sweep engine pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&o.storeDir, "store", "", "durable content-addressed result store directory (shared across instances; makes /v1/jobs jobs resumable)")
+	flag.Int64Var(&o.storeMaxBytes, "store-max-bytes", 0, "store object area size cap in bytes; exceeding it evicts oldest results first (0 = unbounded)")
 	flag.IntVar(&o.jobWorkers, "job-workers", 0, "async job worker loops behind /v1/jobs (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown budget after SIGTERM")
 	flag.BoolVar(&o.quiet, "quiet", false, "disable the access log")
@@ -151,6 +159,11 @@ func run(ctx context.Context, o options, ln net.Listener, logw io.Writer) error 
 		st, err = store.Open(o.storeDir)
 		if err != nil {
 			return fmt.Errorf("open store: %w", err)
+		}
+		if o.storeMaxBytes > 0 {
+			if err := st.SetMaxBytes(o.storeMaxBytes); err != nil {
+				return fmt.Errorf("store size cap: %w", err)
+			}
 		}
 		mgr = jobs.NewManager(jobs.Config{Store: st, Workers: o.jobWorkers})
 		resumed, err := mgr.Recover()

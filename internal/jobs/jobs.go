@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wsnbcast/internal/life"
 	"wsnbcast/internal/scenario"
 	"wsnbcast/internal/store"
 )
@@ -77,6 +78,11 @@ type Config struct {
 	// RetryBase is the first retry's backoff; attempt k waits
 	// RetryBase << (k-1) (0: 50ms).
 	RetryBase time.Duration
+	// CheckpointEvery is the round cadence at which lifetime points
+	// checkpoint their round loop through the store (0:
+	// life.DefaultCheckpointEvery). The cadence never changes result
+	// bytes, only how much work a killed process repeats.
+	CheckpointEvery int
 	// BeforePoint, when non-nil, runs at the start of every point
 	// execution attempt, before the store is consulted. Test
 	// instrumentation: the drain and restart tests use it to hold
@@ -922,6 +928,12 @@ func (m *Manager) runPoint(ctx context.Context, j *job, idx int) error {
 		if perr := m.cfg.Store.Put(key, body); perr != nil {
 			return perr
 		}
+		if j.pl.shape == shapeLifetime {
+			// The payload is durable; its round-loop checkpoint is spent.
+			if ckey, err := checkpointKey(j.kind, j.sc, idx); err == nil {
+				m.cfg.Store.Delete(ckey)
+			}
+		}
 	}
 	m.pointsComputed.Add(1)
 	m.deliverPoint(j, idx, body)
@@ -933,8 +945,26 @@ func (m *Manager) execPoint(ctx context.Context, j *job, idx int) ([]byte, error
 	if testExecPoint != nil {
 		return testExecPoint(ctx, j.kind, j.sc, j.pl, idx)
 	}
-	return executePoint(ctx, j.kind, j.sc, j.pl, idx)
+	var ck life.Checkpointer
+	if m.cfg.Store != nil && j.pl.shape == shapeLifetime {
+		if key, err := checkpointKey(j.kind, j.sc, idx); err == nil {
+			ck = storeCheckpointer{st: m.cfg.Store, key: key}
+		}
+	}
+	return executePoint(ctx, j.kind, j.sc, j.pl, idx, ck, m.cfg.CheckpointEvery)
 }
+
+// storeCheckpointer persists one lifetime point's round-loop state
+// under its deterministic checkpoint key, making the durable store the
+// resume medium: a SIGKILLed process's successor re-runs the cell from
+// the last saved round instead of round 1.
+type storeCheckpointer struct {
+	st  *store.Store
+	key string
+}
+
+func (c storeCheckpointer) Load() ([]byte, bool) { return c.st.Get(c.key) }
+func (c storeCheckpointer) Save(b []byte) error  { return c.st.Put(c.key, b) }
 
 // testExecPoint, when non-nil, replaces executePoint (package tests
 // inject transient failures through it).

@@ -263,7 +263,7 @@ func TestRetryTransient(t *testing.T) {
 		if idx == 0 && fails.Add(-1) >= 0 {
 			return nil, errors.New("transient fault")
 		}
-		return executePoint(ctx, kind, sc, pl, idx)
+		return executePoint(ctx, kind, sc, pl, idx, nil, 0)
 	}
 	defer func() { testExecPoint = nil }()
 
@@ -288,7 +288,7 @@ func TestRetryPermanent(t *testing.T) {
 		if broken.Load() {
 			return nil, errors.New("persistent fault")
 		}
-		return executePoint(ctx, kind, sc, pl, idx)
+		return executePoint(ctx, kind, sc, pl, idx, nil, 0)
 	}
 	defer func() { testExecPoint = nil }()
 

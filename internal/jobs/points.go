@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"wsnbcast/internal/life"
 	"wsnbcast/internal/mc"
 	"wsnbcast/internal/scenario"
 	"wsnbcast/internal/sim"
@@ -36,11 +37,12 @@ const (
 	KindRun      = "run"
 	KindScenario = "scenario"
 	KindSweep    = "sweep"
+	KindLifetime = "lifetime"
 )
 
 // ValidKind reports whether kind names a job shape.
 func ValidKind(kind string) bool {
-	return kind == KindRun || kind == KindScenario || kind == KindSweep
+	return kind == KindRun || kind == KindScenario || kind == KindSweep || kind == KindLifetime
 }
 
 // plan is a job's compiled decomposition.
@@ -66,17 +68,32 @@ const (
 	// 1..G are Monte Carlo (failure, loss) grid points in failure-major
 	// loss-minor order.
 	shapeReliability
+	// shapeLifetime: one point per (strategy, churn rate, replication)
+	// cell of a lifetime study, in life's strategy-major cell order.
+	// Points checkpoint their round loop through the store, so a killed
+	// process resumes a half-run cell instead of restarting it.
+	shapeLifetime
 )
 
 // compilePlan validates the scenario for the kind and decomposes it
 // into points. The scenario must already be canonical.
 func compilePlan(kind string, sc scenario.Scenario) (plan, error) {
 	if !ValidKind(kind) {
-		return plan{}, fmt.Errorf("jobs: unknown kind %q (want run, scenario or sweep)", kind)
+		return plan{}, fmt.Errorf("jobs: unknown kind %q (want run, scenario, sweep or lifetime)", kind)
 	}
 	topo, _, _, err := sc.Compile()
 	if err != nil {
 		return plan{}, err
+	}
+	if kind == KindLifetime {
+		cells, err := sc.LifetimeCellCount()
+		if err != nil {
+			return plan{}, err
+		}
+		return plan{total: cells, shape: shapeLifetime}, nil
+	}
+	if sc.Lifetime != nil {
+		return plan{}, fmt.Errorf("jobs: a lifetime study runs under kind %q, not %q", KindLifetime, kind)
 	}
 	if kind == KindSweep {
 		return plan{total: topo.NumNodes(), shape: shapeSweep}, nil
@@ -107,9 +124,20 @@ func resultKey(kind string, sc scenario.Scenario) (string, error) {
 	return store.Key(kind, sc)
 }
 
+// checkpointKey is the store key of a lifetime point's mid-run round
+// state. It is derived from the canonical scenario plus the point
+// index — like pointKey but in its own namespace — so a restarted
+// process finds the checkpoint its predecessor saved. The object is
+// transient: it is deleted once the point's payload is durable.
+func checkpointKey(kind string, sc scenario.Scenario, index int) (string, error) {
+	return store.Key(fmt.Sprintf("lifeckpt/%s/%d", kind, index), sc)
+}
+
 // executePoint computes one point's payload. Payloads are compact JSON
-// (RunReport, mc.Point, or the full rendered body for shapeWhole).
-func executePoint(ctx context.Context, kind string, sc scenario.Scenario, pl plan, index int) ([]byte, error) {
+// (RunReport, mc.Point, life.CellReport, or the full rendered body for
+// shapeWhole). ck and ckptEvery only concern shapeLifetime points,
+// whose round loop checkpoints through ck when non-nil.
+func executePoint(ctx context.Context, kind string, sc scenario.Scenario, pl plan, index int, ck life.Checkpointer, ckptEvery int) ([]byte, error) {
 	switch pl.shape {
 	case shapeWhole:
 		rep, err := sc.RunContext(ctx)
@@ -172,6 +200,16 @@ func executePoint(ctx context.Context, kind string, sc scenario.Scenario, pl pla
 			return nil, err
 		}
 		return json.Marshal(pt)
+
+	case shapeLifetime:
+		if index < 0 || index >= pl.total {
+			return nil, fmt.Errorf("jobs: lifetime point %d outside [0, %d)", index, pl.total)
+		}
+		cell, err := sc.LifetimeCell(ctx, index, ck, ckptEvery)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cell)
 	}
 	return nil, fmt.Errorf("jobs: unknown shape %d", pl.shape)
 }
@@ -224,6 +262,19 @@ func merge(kind string, sc scenario.Scenario, pl plan, payloads [][]byte) ([]byt
 			}
 		}
 		rep.ReliabilitySeed = sc.Reliability.Seed
+		return store.EncodeBody(rep)
+
+	case shapeLifetime:
+		cells := make([]life.CellReport, len(payloads))
+		for i, raw := range payloads {
+			if err := json.Unmarshal(raw, &cells[i]); err != nil {
+				return nil, fmt.Errorf("jobs: lifetime payload %d: %w", i, err)
+			}
+		}
+		rep, err := sc.LifetimeMerge(cells)
+		if err != nil {
+			return nil, err
+		}
 		return store.EncodeBody(rep)
 	}
 	return nil, fmt.Errorf("jobs: unknown shape %d", pl.shape)

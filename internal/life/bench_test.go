@@ -1,0 +1,42 @@
+package life
+
+import (
+	"context"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+)
+
+// BenchmarkLifetime measures the round loop on the 64x64 mesh — one
+// static cell with light churn, so every round pays the full price:
+// the churn sweep over ~8k links, the pruned-adjacency rebuild, and
+// the broadcast itself. The custom rounds/sec metric is the headline;
+// make bench runs this and benchjson records it.
+func BenchmarkLifetime(b *testing.B) {
+	topo := grid.NewMesh2D4(64, 64)
+	spec := Spec{
+		Topology:     topo,
+		Protocol:     core.ForTopology(topo.Kind()),
+		Source:       grid.C2(32, 32),
+		BudgetJ:      1, // nobody dies: measure steady-state rounds
+		MaxRounds:    64,
+		Seed:         1,
+		Replications: 1,
+		Strategies:   []Strategy{Static},
+		PFail:        []float64{0.001},
+		PNew:         0.25,
+		Workers:      1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		cells, err := Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += cells[0].Rounds
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/sec")
+}

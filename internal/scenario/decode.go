@@ -55,6 +55,7 @@ var knownFields = collectFields(
 	reflect.TypeOf(TopologySpec{}),
 	reflect.TypeOf(PipelineSpec{}),
 	reflect.TypeOf(ReliabilitySpec{}),
+	reflect.TypeOf(LifetimeSpec{}),
 	reflect.TypeOf(Point{}),
 )
 
@@ -73,19 +74,29 @@ func collectFields(types ...reflect.Type) []string {
 }
 
 // closestField returns the known field nearest to the typo, or "" when
-// nothing is close: a match after lowercasing and dropping
-// underscores, or an edit distance of at most 2.
+// nothing is close.
 func closestField(typo string) string {
+	return Suggest(typo, knownFields)
+}
+
+// Suggest returns the candidate nearest to got, or "" when nothing is
+// close: a match after lowercasing and dropping underscores and
+// dashes, or an edit distance of at most 2. The CLIs share it so their
+// flag validation hints ("did you mean ...?") read exactly like the
+// decoder's unknown-field hints.
+func Suggest(got string, candidates []string) string {
 	norm := func(s string) string {
-		return strings.ReplaceAll(strings.ToLower(s), "_", "")
+		s = strings.ToLower(s)
+		s = strings.ReplaceAll(s, "_", "")
+		return strings.ReplaceAll(s, "-", "")
 	}
 	best, bestDist := "", 3
-	for _, f := range knownFields {
-		if norm(f) == norm(typo) {
-			return f
+	for _, c := range candidates {
+		if norm(c) == norm(got) {
+			return c
 		}
-		if d := editDistance(strings.ToLower(typo), f); d < bestDist {
-			best, bestDist = f, d
+		if d := editDistance(strings.ToLower(got), strings.ToLower(c)); d < bestDist {
+			best, bestDist = c, d
 		}
 	}
 	return best

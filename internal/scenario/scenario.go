@@ -18,6 +18,7 @@ import (
 	"wsnbcast/internal/converge"
 	"wsnbcast/internal/core"
 	"wsnbcast/internal/grid"
+	"wsnbcast/internal/life"
 	"wsnbcast/internal/mc"
 	"wsnbcast/internal/pipeline"
 	"wsnbcast/internal/radio"
@@ -75,6 +76,32 @@ type ReliabilitySpec struct {
 	FailureRates []float64 `json:"failure_rates,omitempty"`
 }
 
+// LifetimeSpec requests a multi-round lifetime study (internal/life):
+// repeated broadcasts from the (single) source with per-node battery
+// depletion, death feedback, per-round link churn and source rotation,
+// one cell per (strategy, churn rate, replication). Zero BudgetJ,
+// MaxRounds, Replications and empty Strategies take the canonical
+// defaults (0.05 J, 4096 rounds, 1 replication, "static").
+type LifetimeSpec struct {
+	// BudgetJ is the initial per-node battery in Joules.
+	BudgetJ float64 `json:"budget_j"`
+	// MaxRounds bounds each cell's round loop.
+	MaxRounds int `json:"max_rounds"`
+	// Seed is the study seed; identical seeds reproduce the study
+	// byte-for-byte at any worker count.
+	Seed uint64 `json:"seed"`
+	// Replications per (strategy, churn rate) cell.
+	Replications int `json:"replications"`
+	// Strategies are the rotation policies to compare: "static",
+	// "round-robin", "residual".
+	Strategies []string `json:"strategies"`
+	// ChurnRates is the per-round link failure probability grid; empty
+	// means {0}. PNew is the per-round recovery probability of a down
+	// link (0 = permanent failures).
+	ChurnRates []float64 `json:"churn_rates"`
+	PNew       float64   `json:"p_new,omitempty"`
+}
+
 // Scenario is one declarative experiment.
 type Scenario struct {
 	Name     string       `json:"name"`
@@ -106,6 +133,11 @@ type Scenario struct {
 	// Reliability, when present, runs a Monte Carlo reliability study
 	// from the (single) source after the deterministic broadcast.
 	Reliability *ReliabilitySpec `json:"reliability,omitempty"`
+	// Lifetime, when present, makes the scenario a multi-round lifetime
+	// study; it runs through the lifetime endpoint (POST /v1/lifetime,
+	// the lifetime job kind, or wsnlife) rather than the scenario
+	// runner, and does not combine with the other study sections.
+	Lifetime *LifetimeSpec `json:"lifetime,omitempty"`
 }
 
 // RunReport is one broadcast's metrics.
@@ -153,6 +185,12 @@ type Report struct {
 	// ReliabilitySeed echoes the study seed the points were produced
 	// under.
 	ReliabilitySeed uint64 `json:"reliability_seed,omitempty"`
+
+	// Lifetime study results: one cell per (strategy, churn rate,
+	// replication), strategy-major, churn-rate middle, replication
+	// minor. LifetimeSeed echoes the study seed.
+	Lifetime     []life.CellReport `json:"lifetime,omitempty"`
+	LifetimeSeed uint64            `json:"lifetime_seed,omitempty"`
 }
 
 // Load parses a scenario document. Unknown fields anywhere in the
@@ -297,7 +335,39 @@ func (s Scenario) Canonical() Scenario {
 		r.FailureRates = mc.CanonicalRates(s.Reliability.FailureRates)
 		c.Reliability = &r
 	}
+	if s.Lifetime != nil {
+		l := canonicalLifetime(*s.Lifetime)
+		c.Lifetime = &l
+	}
 	return c
+}
+
+// canonicalLifetime makes the lifetime section's defaults explicit —
+// the canonical battery of 0.05 J (a few hundred rounds for the
+// busiest canonical-mesh relay), a 4096-round cap, one replication,
+// the static strategy — and normalizes strategy names and the churn
+// grid, so equivalent studies share one cache identity.
+func canonicalLifetime(l LifetimeSpec) LifetimeSpec {
+	if l.BudgetJ <= 0 {
+		l.BudgetJ = 0.05
+	}
+	if l.MaxRounds <= 0 {
+		l.MaxRounds = 4096
+	}
+	if l.Replications <= 0 {
+		l.Replications = 1
+	}
+	if len(l.Strategies) == 0 {
+		l.Strategies = []string{string(life.Static)}
+	} else {
+		sts := make([]string, len(l.Strategies))
+		for i, s := range l.Strategies {
+			sts[i] = strings.ToLower(s)
+		}
+		l.Strategies = sts
+	}
+	l.ChurnRates = mc.CanonicalRates(l.ChurnRates)
+	return l
 }
 
 func canonicalPoints(ps []Point) []Point {
@@ -367,7 +437,41 @@ func (s Scenario) Compile() (grid.Topology, sim.Protocol, sim.Config, error) {
 			}
 		}
 	}
+	if l := s.Lifetime; l != nil {
+		if len(s.Sources) != 1 {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: a lifetime study needs exactly one source (got %d)", len(s.Sources))
+		}
+		if s.Pipeline != nil || s.BudgetJ > 0 || s.Convergecast || s.Reliability != nil {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: lifetime does not combine with pipeline, budget, convergecast or reliability")
+		}
+		cl := canonicalLifetime(*l)
+		for _, st := range cl.Strategies {
+			if _, err := life.ParseStrategy(st); err != nil {
+				if hint := Suggest(st, strategyNames()); hint != "" {
+					return nil, nil, sim.Config{}, fmt.Errorf("scenario: unknown lifetime strategy %q (did you mean %q?)", st, hint)
+				}
+				return nil, nil, sim.Config{}, fmt.Errorf("scenario: unknown lifetime strategy %q", st)
+			}
+		}
+		for _, rate := range cl.ChurnRates {
+			if rate < 0 || rate > 1 {
+				return nil, nil, sim.Config{}, fmt.Errorf("scenario: churn rate %g outside [0, 1]", rate)
+			}
+		}
+		if cl.PNew < 0 || cl.PNew > 1 {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: p_new %g outside [0, 1]", cl.PNew)
+		}
+	}
 	return topo, p, cfg, nil
+}
+
+// strategyNames lists the valid lifetime strategies for hints.
+func strategyNames() []string {
+	var out []string
+	for _, s := range life.Strategies() {
+		out = append(out, string(s))
+	}
+	return out
 }
 
 // Validate checks the scenario without running it.
@@ -389,6 +493,12 @@ func (s Scenario) RunContext(ctx context.Context) (Report, error) {
 	topo, p, cfg, err := s.Compile()
 	if err != nil {
 		return rep, err
+	}
+	if s.Lifetime != nil {
+		// Lifetime cells can run for thousands of rounds each; they go
+		// through the cell-sharded lifetime path (POST /v1/lifetime, the
+		// lifetime job kind, wsnlife), never the scenario runner.
+		return rep, fmt.Errorf("scenario: a lifetime study runs via the lifetime endpoint, not the scenario runner")
 	}
 	rep.Protocol = p.Name()
 
@@ -525,6 +635,120 @@ func (s Scenario) SweepReport(ctx context.Context, workers int, g sweep.Gauge) (
 	}
 	SweepSummary(&rep)
 	return rep, nil
+}
+
+// lifeSpec builds the internal/life study spec of the scenario's
+// lifetime section. The scenario must have passed Compile (one source,
+// no conflicting sections); defaults are applied here exactly as
+// Canonical makes them explicit, so canonical and raw documents build
+// the same study.
+func (s Scenario) lifeSpec(workers int, g sweep.Gauge) (life.Spec, error) {
+	topo, p, cfg, err := s.Compile()
+	if err != nil {
+		return life.Spec{}, err
+	}
+	if s.Lifetime == nil {
+		return life.Spec{}, fmt.Errorf("scenario: no lifetime section")
+	}
+	l := canonicalLifetime(*s.Lifetime)
+	sts := make([]life.Strategy, len(l.Strategies))
+	for i, name := range l.Strategies {
+		st, err := life.ParseStrategy(name)
+		if err != nil {
+			return life.Spec{}, fmt.Errorf("scenario: %w", err)
+		}
+		sts[i] = st
+	}
+	return life.Spec{
+		Topology:     topo,
+		Protocol:     p,
+		Source:       s.Sources[0].Coord(),
+		Config:       cfg,
+		BudgetJ:      l.BudgetJ,
+		MaxRounds:    l.MaxRounds,
+		Seed:         l.Seed,
+		Replications: l.Replications,
+		Strategies:   sts,
+		PFail:        l.ChurnRates,
+		PNew:         l.PNew,
+		Workers:      workers,
+		Gauge:        g,
+	}, nil
+}
+
+// LifetimeCellCount returns the study's cell count without running
+// anything — the job planner and admission control size work with it.
+func (s Scenario) LifetimeCellCount() (int, error) {
+	spec, err := s.lifeSpec(0, nil)
+	if err != nil {
+		return 0, err
+	}
+	return spec.NumCells(), nil
+}
+
+// LifetimeMaxRounds returns the study's per-cell round bound, for
+// admission control.
+func (s Scenario) LifetimeMaxRounds() (int, error) {
+	spec, err := s.lifeSpec(0, nil)
+	if err != nil {
+		return 0, err
+	}
+	return spec.MaxRounds, nil
+}
+
+// LifetimeReport runs the whole lifetime study, sharding cells across
+// the worker pool — the body of the HTTP service's /v1/lifetime
+// endpoint, shared with wsnlife and (cell by cell) the job subsystem
+// so all render byte-identical reports. workers sizes the engine
+// (<= 0: GOMAXPROCS); g, when non-nil, receives pending-cell deltas.
+func (s Scenario) LifetimeReport(ctx context.Context, workers int, g sweep.Gauge) (Report, error) {
+	spec, err := s.lifeSpec(workers, g)
+	if err != nil {
+		return Report{}, err
+	}
+	cells, err := life.Run(ctx, spec)
+	if err != nil {
+		return Report{}, err
+	}
+	return s.lifetimeMerge(spec, cells), nil
+}
+
+// LifetimeCell runs one cell of the study, checkpointing through ck
+// when non-nil — the job subsystem's per-point unit. checkpointEvery
+// is the round cadence of saves (<= 0: life.DefaultCheckpointEvery);
+// the cadence never changes the report bytes, only how much work a
+// killed process repeats.
+func (s Scenario) LifetimeCell(ctx context.Context, index int, ck life.Checkpointer, checkpointEvery int) (life.CellReport, error) {
+	spec, err := s.lifeSpec(1, nil)
+	if err != nil {
+		return life.CellReport{}, err
+	}
+	spec.CheckpointEvery = checkpointEvery
+	return life.RunCell(ctx, spec, index, ck)
+}
+
+// LifetimeMerge assembles a lifetime report from distributed cells in
+// study order; for cells that round-tripped through JSON the result is
+// byte-identical to the report LifetimeReport computed inline.
+func (s Scenario) LifetimeMerge(cells []life.CellReport) (Report, error) {
+	spec, err := s.lifeSpec(0, nil)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(cells) != spec.NumCells() {
+		return Report{}, fmt.Errorf("scenario: %d lifetime cells merged into a %d-cell study", len(cells), spec.NumCells())
+	}
+	return s.lifetimeMerge(spec, cells), nil
+}
+
+func (s Scenario) lifetimeMerge(spec life.Spec, cells []life.CellReport) Report {
+	return Report{
+		Name:         s.Name,
+		Topology:     s.Topology.Kind,
+		Protocol:     spec.Protocol.Name(),
+		Lifetime:     cells,
+		LifetimeSeed: spec.Seed,
+	}
 }
 
 // SweepSummary recomputes a sweep report's best/worst/max-delay summary

@@ -10,7 +10,10 @@ import (
 )
 
 func TestPoolRunsJobs(t *testing.T) {
-	p := newPool(2, 4)
+	// Queue capacity 6 fits all 8 submissions (2 in flight + 6 queued)
+	// even if every goroutine enqueues before a worker dequeues —
+	// capacity 4 shed load with "queue full" on scheduling luck.
+	p := newPool(2, 6)
 	defer drain(t, p)
 	var n atomic.Int64
 	var wg sync.WaitGroup

@@ -29,8 +29,8 @@ import (
 
 // jobSubmitRequest is the POST /v1/jobs wire format.
 type jobSubmitRequest struct {
-	// Kind selects the shape: "run", "scenario" or "sweep", with the
-	// same document rules as the synchronous POST /v1/<kind>.
+	// Kind selects the shape: "run", "scenario", "sweep" or "lifetime",
+	// with the same document rules as the synchronous POST /v1/<kind>.
 	Kind string `json:"kind"`
 	// Scenario is the declarative scenario document.
 	Scenario json.RawMessage `json:"scenario"`
@@ -46,6 +46,8 @@ func prepForKind(kind string) (func(scenario.Scenario) error, bool) {
 		return prepScenario, true
 	case jobs.KindSweep:
 		return prepSweep, true
+	case jobs.KindLifetime:
+		return prepLifetime, true
 	}
 	return nil, false
 }
@@ -76,7 +78,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	prep, ok := prepForKind(req.Kind)
 	if !ok {
 		s.fail(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown job kind %q (want run, scenario or sweep)", req.Kind))
+			fmt.Sprintf("unknown job kind %q (want run, scenario, sweep or lifetime)", req.Kind))
 		return
 	}
 	if len(req.Scenario) == 0 {

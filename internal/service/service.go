@@ -74,6 +74,10 @@ type Config struct {
 	// study may request — replications x loss rates x failure rates
 	// (<= 0: 65536); larger studies reject with 413.
 	MaxReliabilityJobs int
+	// MaxLifetimeRounds caps the total broadcast rounds one lifetime
+	// study may request — cells x max_rounds (<= 0: 4194304); larger
+	// studies reject with 413.
+	MaxLifetimeRounds int
 	// SweepWorkers sizes the per-request sweep engine of /v1/sweep
 	// (<= 0: GOMAXPROCS).
 	SweepWorkers int
@@ -118,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxReliabilityJobs <= 0 {
 		c.MaxReliabilityJobs = 1 << 16
 	}
+	if c.MaxLifetimeRounds <= 0 {
+		c.MaxLifetimeRounds = 1 << 22
+	}
 	return c
 }
 
@@ -156,6 +163,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleSim("run", prepRun, s.execScenario))
 	s.mux.HandleFunc("POST /v1/scenario", s.handleSim("scenario", prepScenario, s.execScenario))
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSim("sweep", prepSweep, s.execSweep))
+	s.mux.HandleFunc("POST /v1/lifetime", s.handleSim("lifetime", prepLifetime, s.execLifetime))
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -212,6 +220,8 @@ func endpointLabel(path string) string {
 		return "scenario"
 	case "/v1/sweep":
 		return "sweep"
+	case "/v1/lifetime":
+		return "lifetime"
 	case "/healthz":
 		return "healthz"
 	case "/metrics":
@@ -285,10 +295,18 @@ func prepRun(sc scenario.Scenario) error {
 	if sc.Pipeline != nil || sc.BudgetJ > 0 || sc.Convergecast {
 		return errors.New("POST /v1/run is a single broadcast; use /v1/scenario for pipeline, budget or convergecast runs")
 	}
+	if sc.Lifetime != nil {
+		return errors.New("POST /v1/run is a single broadcast; run lifetime studies through /v1/lifetime")
+	}
 	return nil
 }
 
-func prepScenario(scenario.Scenario) error { return nil }
+func prepScenario(sc scenario.Scenario) error {
+	if sc.Lifetime != nil {
+		return errors.New("POST /v1/scenario runs single-shot documents; run lifetime studies through /v1/lifetime")
+	}
+	return nil
+}
 
 func prepSweep(sc scenario.Scenario) error {
 	if len(sc.Sources) != 0 {
@@ -299,6 +317,16 @@ func prepSweep(sc scenario.Scenario) error {
 	}
 	if sc.Reliability != nil {
 		return errors.New("POST /v1/sweep is deterministic; run reliability studies through /v1/run or /v1/scenario")
+	}
+	if sc.Lifetime != nil {
+		return errors.New("POST /v1/sweep is a plain all-sources sweep; run lifetime studies through /v1/lifetime")
+	}
+	return nil
+}
+
+func prepLifetime(sc scenario.Scenario) error {
+	if sc.Lifetime == nil {
+		return errors.New(`POST /v1/lifetime needs a "lifetime" section; single-shot documents go to /v1/run or /v1/scenario`)
 	}
 	return nil
 }
@@ -425,6 +453,24 @@ func (s *Server) checkLimits(sc scenario.Scenario) (int, string) {
 				fmt.Sprintf("reliability study too large: %d simulation jobs (limit %d)", jobs, s.cfg.MaxReliabilityJobs)
 		}
 	}
+	if sc.Lifetime != nil {
+		// Every lifetime round is one full broadcast, so cells x
+		// max_rounds is the study's worst-case simulation count. Both
+		// factors are canonical here.
+		cells, err := sc.LifetimeCellCount()
+		if err != nil {
+			return http.StatusBadRequest, err.Error()
+		}
+		rounds, err := sc.LifetimeMaxRounds()
+		if err != nil {
+			return http.StatusBadRequest, err.Error()
+		}
+		if total := cells * rounds; total > s.cfg.MaxLifetimeRounds {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("lifetime study too large: %d cells x %d rounds = %d broadcasts (limit %d)",
+					cells, rounds, total, s.cfg.MaxLifetimeRounds)
+		}
+	}
 	return 0, ""
 }
 
@@ -473,6 +519,18 @@ func (s *Server) execScenario(ctx context.Context, sc scenario.Scenario) (any, e
 // deadline stops the sweep between jobs.
 func (s *Server) execSweep(ctx context.Context, sc scenario.Scenario) (any, error) {
 	rep, err := sc.SweepReport(ctx, s.cfg.SweepWorkers, s.metrics.SweepGauge())
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// execLifetime runs a multi-round lifetime study on the sweep engine's
+// worker pool — the shared scenario.LifetimeReport path, so the
+// synchronous endpoint, the job subsystem and the wsnlife CLI render
+// byte-identical bodies.
+func (s *Server) execLifetime(ctx context.Context, sc scenario.Scenario) (any, error) {
+	rep, err := sc.LifetimeReport(ctx, s.cfg.SweepWorkers, s.metrics.SweepGauge())
 	if err != nil {
 		return nil, err
 	}

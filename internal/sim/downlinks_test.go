@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"wsnbcast/internal/grid"
+)
+
+// A churned link is removed from the radio graph: the repair planner
+// routes the broadcast around it when the graph stays connected.
+func TestDownLinksRoutedAround(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(1, 1)
+	cut := []Link{
+		{A: grid.C2(4, 4), B: grid.C2(5, 4)},
+		{A: grid.C2(4, 4), B: grid.C2(4, 5)},
+	}
+	r, err := Run(topo, allRelay("flood"), src, Config{DownLinks: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullyReached() {
+		t.Errorf("connected graph with cut links not fully reached: %d/%d", r.Reached, r.Total)
+	}
+	// Repairs may add traffic, so compare receptions with repair off:
+	// a cut link then strictly removes deliveries.
+	damaged, err := Run(topo, allRelay("flood"), src, Config{DownLinks: cut, DisableRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(topo, allRelay("flood"), src, Config{DisableRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged.Rx >= full.Rx {
+		t.Errorf("Rx with cut links (%d) not below full graph (%d)", damaged.Rx, full.Rx)
+	}
+}
+
+// Cutting the only link in a line partitions the far side; the engine
+// reports partial reachability honestly instead of looping on repairs.
+func TestDownLinksPartition(t *testing.T) {
+	topo := grid.NewMesh2D4(7, 1)
+	for name, cut := range map[string]Link{
+		"forward":  {A: grid.C2(3, 1), B: grid.C2(4, 1)},
+		"reversed": {A: grid.C2(4, 1), B: grid.C2(3, 1)},
+	} {
+		r, err := Run(topo, allRelay("flood"), grid.C2(1, 1), Config{DownLinks: []Link{cut}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.FullyReached() {
+			t.Errorf("%s: partitioned network reported fully reached", name)
+		}
+		// Both directions of the undirected link must be gone regardless
+		// of the endpoint order, so exactly nodes 1..3 are reached.
+		if r.Reached != 3 {
+			t.Errorf("%s: Reached = %d, want 3 (the near side)", name, r.Reached)
+		}
+	}
+}
+
+func TestDownLinksValidation(t *testing.T) {
+	topo := grid.NewMesh2D4(5, 5)
+	if _, err := Run(topo, allRelay("x"), grid.C2(1, 1),
+		Config{DownLinks: []Link{{A: grid.C2(1, 1), B: grid.C2(9, 9)}}}); err == nil {
+		t.Error("out-of-mesh link endpoint accepted")
+	}
+}
+
+// A DownLinks pair that is not a lattice edge is a no-op: the result
+// matches the unperturbed run exactly.
+func TestDownLinksNonAdjacentNoOp(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 6)
+	src := grid.C2(2, 2)
+	base, err := Run(topo, allRelay("flood"), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(topo, allRelay("flood"), src, Config{
+		DownLinks: []Link{{A: grid.C2(1, 1), B: grid.C2(6, 6)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reached != base.Reached || r.Rx != base.Rx || r.Tx != base.Tx ||
+		r.Delay != base.Delay || r.Collisions != base.Collisions {
+		t.Errorf("non-adjacent cut changed the run: got %+v, want %+v", r, base)
+	}
+}
+
+// DownLinks composes with Down: dead nodes and dead links prune the
+// same private adjacency copy.
+func TestDownLinksWithDownNodes(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(1, 1)
+	r, err := Run(topo, allRelay("flood"), src, Config{
+		Down:      []grid.Coord{grid.C2(5, 5)},
+		DownLinks: []Link{{A: grid.C2(4, 4), B: grid.C2(5, 4)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Down != 1 {
+		t.Errorf("Down = %d, want 1", r.Down)
+	}
+	if !r.FullyReached() {
+		t.Errorf("live nodes not all reached: %d/%d", r.Reached, r.Total)
+	}
+}
+
+// Link churn forces the materialized adjacency path even where the
+// implicit indexer would normally engage (large grids, Irregular): the
+// cut must take effect, not be silently ignored by lattice arithmetic.
+func TestDownLinksForcesMaterializedPath(t *testing.T) {
+	defer SetLargeGridThresholdForTest(0)() // implicit path at every size
+	topo := grid.NewMesh2D4(7, 1)
+	r, err := Run(topo, allRelay("flood"), grid.C2(1, 1), Config{
+		DownLinks: []Link{{A: grid.C2(3, 1), B: grid.C2(4, 1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reached != 3 {
+		t.Errorf("Reached = %d, want 3: cut ignored on the forced-implicit path", r.Reached)
+	}
+}

@@ -10,6 +10,13 @@ import (
 	"wsnbcast/internal/radio"
 )
 
+// Link names one undirected lattice link by its endpoint coordinates.
+// The order of A and B is irrelevant: Config.DownLinks removes both
+// directions from the radio graph.
+type Link struct {
+	A, B grid.Coord
+}
+
 // Config parameterizes one simulated broadcast.
 type Config struct {
 	// Model is the radio energy model; zero value means radio.Default().
@@ -36,6 +43,15 @@ type Config struct {
 	// A broadcast cannot originate at a down node. Reachability and
 	// reception accounting cover the live nodes only.
 	Down []grid.Coord
+	// DownLinks lists failed (churned) undirected links: both directions
+	// are removed from the radio graph before the run, exactly as Down
+	// removes nodes, so the repair planner sees the true round topology
+	// and never chases a donor across a dead link. Entries whose
+	// endpoints are not lattice neighbors are no-ops; endpoints outside
+	// the mesh are an error. Note that Result.Validate's degree-sum
+	// invariant assumes the full lattice adjacency and does not hold
+	// when links are removed.
+	DownLinks []Link
 	// Channel, when non-nil, decides per-link reception (lossy
 	// channels). It must be a pure function of (slot, tx, rx): the
 	// engine replays schedules while planning repairs and relies on a
@@ -187,11 +203,15 @@ func runLoop(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*engine, 
 	// state is O(N) words + O(N) bits with no O(N*deg) table anywhere.
 	var ix grid.NeighborIndexer
 	var adj [][]int32
-	if gix, ok := t.(grid.NeighborIndexer); ok &&
+	if gix, ok := t.(grid.NeighborIndexer); ok && len(cfg.DownLinks) == 0 &&
 		(t.Kind() == grid.Irregular || t.NumNodes() >= largeGridNodes) {
 		ix = gix
 	} else {
-		adj = buildAdjacency(t, down != nil)
+		// Link churn forces this materialized branch even on large and
+		// Irregular meshes: implicit neighbor arithmetic cannot express a
+		// graph with individual links missing, and the repair planner must
+		// see the true round topology.
+		adj = buildAdjacency(t, down != nil || len(cfg.DownLinks) > 0)
 		if down != nil {
 			// Remove the down nodes from the radio graph entirely (adj is a
 			// private copy when down != nil).
@@ -208,6 +228,14 @@ func runLoop(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*engine, 
 				}
 				adj[i] = kept
 			}
+		}
+		for _, lk := range cfg.DownLinks {
+			if !t.Contains(lk.A) || !t.Contains(lk.B) {
+				return nil, fmt.Errorf("sim: down link %s-%s outside %s mesh", lk.A, lk.B, t.Kind())
+			}
+			a, b := int32(t.Index(lk.A)), int32(t.Index(lk.B))
+			adj[a] = removeNeighbor(adj[a], b)
+			adj[b] = removeNeighbor(adj[b], a)
 		}
 	}
 
@@ -285,6 +313,19 @@ func buildAdjacencyUncached(t grid.Topology) [][]int32 {
 		adj[i] = row
 	}
 	return adj
+}
+
+// removeNeighbor deletes nb from a private adjacency row in place,
+// preserving order. A row that does not list nb — a non-adjacent
+// DownLinks pair, or a row already nil'd by node failure — comes back
+// unchanged.
+func removeNeighbor(row []int32, nb int32) []int32 {
+	for i, v := range row {
+		if v == nb {
+			return append(row[:i], row[i+1:]...)
+		}
+	}
+	return row
 }
 
 // copyAdjacency deep-copies neighbor lists into one flat backing array
@@ -405,7 +446,7 @@ func (e *engine) release() {
 	e.topo = nil
 	e.proto = nil
 	e.plan = nil
-	e.cfg = Config{} // drops the Trace func, Channel and Down list
+	e.cfg = Config{} // drops the Trace func, Channel, Down and DownLinks lists
 	e.ix = nil
 	e.nbr = nil
 	e.down = nil

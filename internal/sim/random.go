@@ -24,6 +24,7 @@ const (
 	domainLoss    uint64 = 0x6c6f7373 // "loss"
 	domainFailure uint64 = 0x6661696c // "fail"
 	domainRep     uint64 = 0x72657020 // "rep "
+	domainChurn   uint64 = 0x6368726e // "chrn"
 )
 
 // golden is the splitmix64 increment (2^64 / phi).
@@ -106,6 +107,19 @@ func (b BernoulliLoss) Deliver(slot int, tx, rx int32) bool {
 // between grid points reflect the rate, not re-sampled noise.
 func ReplicationSeed(seed uint64, rep int) uint64 {
 	return keyedUint64(seed, domainRep, uint64(rep))
+}
+
+// ChurnUnit returns the uniform in [0, 1) that decides link `link`'s
+// state transition in lifetime round `round`. The draw is keyed by
+// (seed, domainChurn, round, link) — a distinct domain from the loss
+// and failure chains, so a lifetime study with churn and per-slot loss
+// under the same seed never compares the same uniform against two
+// thresholds (see TestChurnDomainDisjoint / FuzzChurnDomainDisjoint).
+// Both directions of an undirected link share one draw: churn flips
+// links, not directed edges. As with loss, the uniform is shared
+// across churn rates, so raising p_fail only ever fails more links.
+func ChurnUnit(seed uint64, round int, link int32) float64 {
+	return keyedUnit(seed, domainChurn, uint64(round), uint64(uint32(link)))
 }
 
 // SampleFailures samples pre-broadcast node failures: every node except

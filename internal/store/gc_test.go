@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// putSized stores a body of n payload bytes under key and backdates
+// its mtime so eviction order is deterministic without sleeping.
+func putSized(t *testing.T, s *Store, key string, n int, age time.Duration) {
+	t.Helper()
+	if err := s.Put(key, bytes.Repeat([]byte{'x'}, n)); err != nil {
+		t.Fatalf("put %s: %v", key, err)
+	}
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(s.objectPath(key), old, old); err != nil {
+		t.Fatalf("chtimes %s: %v", key, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("run:missing"); err != nil {
+		t.Errorf("deleting a missing key: %v", err)
+	}
+	if err := s.Put("run:a", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("run:a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("run:a"); ok {
+		t.Error("deleted key still readable")
+	}
+	s.Close()
+	if err := s.Delete("run:a"); err != ErrClosed {
+		t.Errorf("Delete on closed store = %v, want ErrClosed", err)
+	}
+}
+
+// TestEvictionOldestFirst: pushing the object area past the cap evicts
+// the oldest-mtime entries until it fits, leaving the newest readable.
+func TestEvictionOldestFirst(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Three aged 1 KiB objects, oldest first.
+	for i, key := range []string{"run:old", "run:mid", "run:new"} {
+		putSized(t, s, key, 1024, time.Duration(3-i)*time.Hour)
+	}
+	// Cap to roughly two framed objects; the seeding rescan must
+	// already evict the oldest one.
+	if err := s.SetMaxBytes(2 * 1100); err != nil {
+		t.Fatalf("set max bytes: %v", err)
+	}
+	if _, ok := s.Get("run:old"); ok {
+		t.Error("oldest object survived a sweep that had to evict one")
+	}
+	for _, key := range []string{"run:mid", "run:new"} {
+		if _, ok := s.Get(key); !ok {
+			t.Errorf("%s evicted, want oldest-first order", key)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.EvictedBytes == 0 {
+		t.Error("evicted bytes not counted")
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("tracked bytes %d above cap %d after sweep", st.Bytes, st.MaxBytes)
+	}
+
+	// A Put that overflows the cap sweeps inline: the next-oldest goes,
+	// the new entry stays.
+	putSized(t, s, "run:newer", 1024, 0)
+	if _, ok := s.Get("run:mid"); ok {
+		t.Error("mid-aged object survived the overflow sweep")
+	}
+	if _, ok := s.Get("run:newer"); !ok {
+		t.Error("freshly written object was evicted instead of the oldest")
+	}
+	if got := s.Stats().Evictions; got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+}
+
+// TestEvictionExemptsRecords: the size cap governs the object area
+// only — job records survive any sweep, because losing one orphans a
+// job rather than costing a recomputation.
+func TestEvictionExemptsRecords(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := []byte(`{"id": "deadbeef", "state": "queued"}`)
+	if err := s.PutRecord("deadbeef", rec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		putSized(t, s, fmt.Sprintf("run:%d", i), 2048, time.Duration(4-i)*time.Minute)
+	}
+	if err := s.SetMaxBytes(1024); err != nil {
+		t.Fatalf("set max bytes: %v", err)
+	}
+	if got := s.Stats().Evictions; got == 0 {
+		t.Fatal("cap below every object evicted nothing")
+	}
+	got, ok, err := s.GetRecord("deadbeef")
+	if err != nil || !ok {
+		t.Fatalf("record lost to the sweep: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Error("record bytes changed")
+	}
+}
+
+// TestSetMaxBytesSeedsFromDisk: a fresh store handle over a populated
+// directory learns the existing footprint from the rescan, so the cap
+// binds across process restarts.
+func TestSetMaxBytesSeedsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		putSized(t, s1, fmt.Sprintf("run:%d", i), 1024, time.Duration(3-i)*time.Minute)
+	}
+	s1.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.SetMaxBytes(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Bytes < 3*1024 {
+		t.Errorf("rescan tracked %d bytes, want at least the 3 KiB of payload on disk", st.Bytes)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("sweep under the cap evicted %d objects", st.Evictions)
+	}
+	// An unbounded store never sweeps.
+	if err := s2.SetMaxBytes(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put("run:huge", bytes.Repeat([]byte{'y'}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().Evictions; got != 0 {
+		t.Errorf("uncapped store evicted %d objects", got)
+	}
+}

@@ -34,10 +34,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by mutating operations on a closed store.
@@ -53,10 +57,20 @@ type Store struct {
 	dir    string
 	closed atomic.Bool
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	puts    atomic.Uint64
-	corrupt atomic.Uint64
+	// maxBytes, when positive, caps the object area's on-disk size;
+	// bytes is this process's running estimate of it (rescanned from
+	// disk inside every sweep, so cross-process writers only delay a
+	// sweep, never break the cap). sweepMu serializes sweeps.
+	maxBytes atomic.Int64
+	bytes    atomic.Int64
+	sweepMu  sync.Mutex
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	puts         atomic.Uint64
+	corrupt      atomic.Uint64
+	evictions    atomic.Uint64
+	evictedBytes atomic.Uint64
 }
 
 // Stats is a snapshot of the store's counters.
@@ -65,6 +79,14 @@ type Stats struct {
 	Misses  uint64 `json:"misses"`
 	Puts    uint64 `json:"puts"`
 	Corrupt uint64 `json:"corrupt"`
+	// Bytes is the tracked size of the object area; MaxBytes is the
+	// configured cap (0: unbounded).
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// Evictions counts objects removed by the size-cap sweep;
+	// EvictedBytes their cumulative size.
+	Evictions    uint64 `json:"evictions"`
+	EvictedBytes uint64 `json:"evicted_bytes"`
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -79,6 +101,102 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetMaxBytes bounds the object area's on-disk footprint: whenever the
+// tracked size exceeds max, a sweep evicts objects oldest-mtime-first
+// until the area fits again. Objects are pure caches of deterministic
+// computations, so eviction only ever costs recomputation. Job records
+// (the jobs/ area) are exempt — losing one would orphan a job, not
+// just a result. max <= 0 removes the cap. The call rescans the object
+// area to seed the size estimate and sweeps immediately if the cap is
+// already exceeded.
+func (s *Store) SetMaxBytes(max int64) error {
+	s.maxBytes.Store(max)
+	size, err := s.scanObjects(nil)
+	if err != nil {
+		return err
+	}
+	s.bytes.Store(size)
+	return s.sweep()
+}
+
+// object is one entry of the object area, as seen by a scan.
+type object struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scanObjects walks the object area summing sizes; when collect is
+// non-nil every entry is also appended to it.
+func (s *Store) scanObjects(collect *[]object) (int64, error) {
+	var total int64
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			// A file evicted or corrupted mid-walk is simply absent.
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		total += info.Size()
+		if collect != nil {
+			*collect = append(*collect, object{path: path, size: info.Size(), mtime: info.ModTime()})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return total, nil
+}
+
+// sweep enforces the size cap: rescan the object area (healing the
+// estimate against writers in other processes), then remove objects
+// oldest mtime first — the entries least recently written, and under
+// the write-through usage pattern the least likely to be asked for
+// again — until the area fits the cap.
+func (s *Store) sweep() error {
+	max := s.maxBytes.Load()
+	if max <= 0 || s.bytes.Load() <= max {
+		return nil
+	}
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	var objs []object
+	total, err := s.scanObjects(&objs)
+	if err != nil {
+		return err
+	}
+	if total > max {
+		sort.Slice(objs, func(i, j int) bool {
+			if !objs[i].mtime.Equal(objs[j].mtime) {
+				return objs[i].mtime.Before(objs[j].mtime)
+			}
+			return objs[i].path < objs[j].path
+		})
+		for _, o := range objs {
+			if total <= max {
+				break
+			}
+			if err := os.Remove(o.path); err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					total -= o.size // another process got there first
+					continue
+				}
+				s.bytes.Store(total)
+				return fmt.Errorf("store: evict %s: %w", o.path, err)
+			}
+			total -= o.size
+			s.evictions.Add(1)
+			s.evictedBytes.Add(uint64(o.size))
+		}
+	}
+	s.bytes.Store(total)
+	return nil
+}
 
 // Close marks the store closed: subsequent Puts fail with ErrClosed
 // and Gets report misses. Writes are already durable at Put time
@@ -115,7 +233,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	if !ok {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
-		os.Remove(path)
+		if os.Remove(path) == nil {
+			s.bytes.Add(-int64(len(raw)))
+		}
 		return nil, false
 	}
 	s.hits.Add(1)
@@ -133,20 +253,52 @@ func (s *Store) Put(key string, body []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := writeAtomic(s.dir, path, encodeObject(body)); err != nil {
+	data := encodeObject(body)
+	if err := writeAtomic(s.dir, path, data); err != nil {
 		return err
 	}
 	s.puts.Add(1)
+	s.bytes.Add(int64(len(data)))
+	// The write is durable; a failing sweep degrades the cap, not the
+	// Put.
+	s.sweep()
+	return nil
+}
+
+// Delete removes the object stored under key, if any. A missing entry
+// is not an error — Delete is the cleanup of transient objects (point
+// checkpoints) whose absence is the goal.
+func (s *Store) Delete(key string) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	path := s.objectPath(key)
+	var size int64
+	if info, err := os.Stat(path); err == nil {
+		size = info.Size()
+	}
+	err := os.Remove(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	s.bytes.Add(-size)
 	return nil
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Puts:    s.puts.Load(),
-		Corrupt: s.corrupt.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		Corrupt:      s.corrupt.Load(),
+		Bytes:        s.bytes.Load(),
+		MaxBytes:     s.maxBytes.Load(),
+		Evictions:    s.evictions.Load(),
+		EvictedBytes: s.evictedBytes.Load(),
 	}
 }
 

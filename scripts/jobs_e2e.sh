@@ -10,6 +10,11 @@
 # the crash-resume path recomputes nothing it shouldn't and that the
 # distributed merge matches the serial code path exactly.
 #
+# A second phase repeats the kill/restart cycle with a multi-round
+# lifetime job (kind "lifetime"): the round loop checkpoints through
+# the store, so a SIGKILL can land mid-cell and the resumed job must
+# still produce the byte-identical /v1/lifetime body.
+#
 # Needs: go, curl, jq. Run from the repository root:
 #
 #	./scripts/jobs_e2e.sh
@@ -100,6 +105,7 @@ wait "$first_pid" 2>/dev/null || true
 
 log "restarting server against the same store"
 start_server second -store "$store"
+second_pid=$pid
 second_addr=$addr
 
 # The job id is the hash of the canonical document, so the restarted
@@ -121,10 +127,74 @@ curl -fsS "http://$second_addr/v1/jobs/$id/result" >"$work/job.json"
 
 log "computing synchronous answer on a storeless instance"
 start_server sync
-curl -fsS -X POST -d "$doc" "http://$addr/v1/scenario" >"$work/sync.json"
+sync_addr=$addr
+curl -fsS -X POST -d "$doc" "http://$sync_addr/v1/scenario" >"$work/sync.json"
 
 diff -u "$work/sync.json" "$work/job.json" ||
 	die "job result differs from the synchronous answer"
 
 resumed="$(curl -fsS "http://$second_addr/metrics" | jq -r '.jobs.recovered')"
 log "OK: job survived SIGKILL (recovered=$resumed), result byte-identical to sync"
+
+# --- Phase 2: the same crash cycle for a multi-round lifetime job. ---
+# A 32x32 study with churn and three rotation strategies: 12 cells of
+# up to 512 rounds each, so the kill can land mid-cell between two
+# round-loop checkpoints.
+lifedoc='{
+  "topology": {"kind": "2d4", "m": 32, "n": 32},
+  "sources": [{"x": 16, "y": 16}],
+  "lifetime": {
+    "budget_j": 0.01,
+    "max_rounds": 512,
+    "seed": 5,
+    "replications": 2,
+    "strategies": ["static", "round-robin", "residual"],
+    "churn_rates": [0, 0.01],
+    "p_new": 0.25
+  }
+}'
+lifejob="$(jq -n --argjson sc "$lifedoc" '{kind: "lifetime", scenario: $sc}')"
+
+log "submitting lifetime job"
+status="$(curl -fsS -X POST -d "$lifejob" "http://$second_addr/v1/jobs")"
+lid="$(echo "$status" | jq -r .id)"
+ltotal="$(echo "$status" | jq -r .total_points)"
+[ -n "$lid" ] && [ "$lid" != null ] || die "no lifetime job id in: $status"
+log "lifetime job $lid submitted ($ltotal cells)"
+
+# Let it make some progress, then pull the plug again. If the job
+# finishes first the restart still has to serve the durable result.
+for _ in $(seq 1 200); do
+	st="$(curl -fsS "http://$second_addr/v1/jobs/$lid")"
+	state="$(echo "$st" | jq -r .state)"
+	done_pts="$(echo "$st" | jq -r .done_points)"
+	[ "$state" = done ] || [ "$done_pts" -ge 1 ] && break
+	sleep 0.05
+done
+log "killing server at $done_pts/$ltotal cells (state $state)"
+kill -9 "$second_pid"
+wait "$second_pid" 2>/dev/null || true
+
+log "restarting server against the same store"
+start_server third -store "$store"
+third_addr=$addr
+
+resub_id="$(curl -fsS -X POST -d "$lifejob" "http://$third_addr/v1/jobs" | jq -r .id)"
+[ "$resub_id" = "$lid" ] || die "lifetime job id changed across restart: $lid vs $resub_id"
+
+log "polling lifetime job to completion"
+state=""
+for _ in $(seq 1 600); do
+	state="$(curl -fsS "http://$third_addr/v1/jobs/$lid" | jq -r .state)"
+	[ "$state" = done ] && break
+	[ "$state" = failed ] && die "lifetime job failed: $(curl -fsS "http://$third_addr/v1/jobs/$lid")"
+	sleep 0.1
+done
+[ "$state" = done ] || die "lifetime job did not finish: last state $state"
+curl -fsS "http://$third_addr/v1/jobs/$lid/result" >"$work/life-job.json"
+
+curl -fsS -X POST -d "$lifedoc" "http://$sync_addr/v1/lifetime" >"$work/life-sync.json"
+diff -u "$work/life-sync.json" "$work/life-job.json" ||
+	die "lifetime job result differs from the synchronous answer"
+
+log "OK: lifetime job survived SIGKILL, result byte-identical to sync"

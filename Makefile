@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify lane-guard fuzz-smoke golden cover jobs-e2e
+.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify lane-guard session-guard fuzz-smoke golden cover jobs-e2e
 
 all: verify
 
@@ -81,6 +81,18 @@ lane-guard:
 	@$(GO) test ./internal/mc -run='^$$' -list='^TestLockstepLaneWidthsIdenticalReports$$' | grep -q '^TestLockstepLaneWidthsIdenticalReports$$' || \
 		{ echo "verify: TestLockstepLaneWidthsIdenticalReports missing from internal/mc"; exit 1; }
 
+# Guard: the session-vs-sim.Run differential suites are the
+# round-persistent session's correctness contract (byte-identical
+# lifetime reports across topologies, strategies, churn and worker
+# counts). Same rationale as lane-guard: verify must fail loudly if a
+# rename or build tag ever drops them, because the race target below
+# is what runs them under the race detector.
+session-guard:
+	@$(GO) test ./internal/sim -run='^$$' -list='^TestSessionDifferentialAllKinds$$' | grep -q '^TestSessionDifferentialAllKinds$$' || \
+		{ echo "verify: TestSessionDifferentialAllKinds missing from internal/sim"; exit 1; }
+	@$(GO) test ./internal/life -run='^$$' -list='^TestSessionDifferentialMatrix$$' | grep -q '^TestSessionDifferentialMatrix$$' || \
+		{ echo "verify: TestSessionDifferentialMatrix missing from internal/life"; exit 1; }
+
 # Short fuzz smoke over the counter-based randomness layers — the
 # corpus seeds plus a few seconds of mutation; CI runs this on every
 # push. The churn target proves the lifetime engine's churn draws
@@ -90,7 +102,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzLaneFailureMasks -fuzztime=5s
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzChurnDomainDisjoint -fuzztime=5s
 
-verify: lane-guard build vet test race
+verify: lane-guard session-guard build vet test race
 
 # Coverage profile over the whole module; CI uploads coverage.out as
 # an artifact. Atomic mode so the profile is also valid under -race.

@@ -35,12 +35,16 @@ import (
 	"time"
 )
 
-// metrics is one side of a before/after pair.
+// metrics is one side of a before/after pair. Extra holds custom
+// b.ReportMetric columns keyed by their unit — the lifetime
+// benchmarks' "rounds/sec" headline — so domain metrics survive into
+// the history instead of only ns/op.
 type metrics struct {
-	NsPerOp     float64 `json:"ns_op"`
-	BytesPerOp  int64   `json:"b_op"`
-	AllocsPerOp int64   `json:"allocs_op"`
-	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  int64              `json:"b_op"`
+	AllocsPerOp int64              `json:"allocs_op"`
+	Iterations  int64              `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // entry is one benchmark's merged record. Speedup and AllocRatio are
@@ -88,9 +92,25 @@ func parseBench(r io.Reader) (map[string]metrics, map[string]string, error) {
 			return nil, nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
 		}
 		mt := metrics{NsPerOp: ns, Iterations: iters}
-		if m[4] != "" {
-			mt.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			mt.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		// Columns after "ns/op" come in (value, unit) pairs: the
+		// optional -benchmem columns, plus any custom ReportMetric
+		// columns, which are kept under their unit string.
+		f := strings.Fields(line)
+		for i := 4; i+1 < len(f); i += 2 {
+			val, unit := f[i], f[i+1]
+			switch unit {
+			case "B/op":
+				mt.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				mt.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				if x, err := strconv.ParseFloat(val, 64); err == nil {
+					if mt.Extra == nil {
+						mt.Extra = make(map[string]float64)
+					}
+					mt.Extra[unit] = x
+				}
+			}
 		}
 		key := pkg + "." + m[1]
 		results[key] = mt

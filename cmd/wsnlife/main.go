@@ -17,6 +17,8 @@
 //	wsnlife -topo 2d4 -m 12 -n 12             # one custom mesh
 //	wsnlife -budget-j 0.01 -rounds 1024       # bigger batteries, longer cap
 //	wsnlife -churn 0,0.01,0.05 -pnew 0.25     # link churn grid
+//	wsnlife -churn 0.05 -pnew 0.25 -burnin 64 # churn starts at steady state
+//	wsnlife -cpuprofile life.pprof            # profile the round loop
 //	wsnlife -strategies static,residual       # compare a strategy subset
 //	wsnlife -seed 7 -reps 5                   # replicated, reproducible
 //	wsnlife -topo 2d4 -json                   # the /v1/lifetime report body
@@ -43,6 +45,7 @@ import (
 	"wsnbcast/internal/core"
 	"wsnbcast/internal/grid"
 	"wsnbcast/internal/life"
+	"wsnbcast/internal/profiling"
 	"wsnbcast/internal/scenario"
 	"wsnbcast/internal/sim"
 	"wsnbcast/internal/store"
@@ -55,6 +58,7 @@ type options struct {
 	source     string
 	budgetJ    float64
 	rounds     int
+	burnin     int
 	seed       uint64
 	reps       int
 	strategies string
@@ -74,6 +78,7 @@ func main() {
 	flag.StringVar(&o.source, "source", "", `round-1 source "x,y" or "x,y,z" (default: mesh center)`)
 	flag.Float64Var(&o.budgetJ, "budget-j", 0.05, "per-node battery budget in Joules")
 	flag.IntVar(&o.rounds, "rounds", 512, "round cap per cell")
+	flag.IntVar(&o.burnin, "burnin", 0, "link-churn burn-in steps before round 1 (0 = start all-up)")
 	flag.Uint64Var(&o.seed, "seed", 1, "study seed; identical seeds reproduce the study byte-for-byte")
 	flag.IntVar(&o.reps, "reps", 1, "replications per (strategy, churn rate) cell")
 	flag.StringVar(&o.strategies, "strategies", "static,round-robin,residual", "comma-separated rotation strategies to compare")
@@ -82,10 +87,21 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "cell worker pool size (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the lifetime report as JSON (the POST /v1/lifetime body)")
 	flag.BoolVar(&o.static, "static", false, "print the closed-form single-round estimate instead of running the multi-round engine")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(o, os.Stdout); err != nil {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsnlife:", err)
+		os.Exit(1)
+	}
+	runErr := run(o, os.Stdout)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnlife:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "wsnlife:", runErr)
 		os.Exit(1)
 	}
 }
@@ -231,6 +247,7 @@ func runStudy(o options, w io.Writer, kinds []grid.Kind) error {
 				Strategies:   parseStrategies(o.strategies),
 				ChurnRates:   churn,
 				PNew:         o.pnew,
+				BurnInRounds: o.burnin,
 			},
 		}.Canonical()
 		rep, err := sc.LifetimeReport(context.Background(), o.workers, nil)

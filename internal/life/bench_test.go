@@ -8,26 +8,26 @@ import (
 	"wsnbcast/internal/grid"
 )
 
-// BenchmarkLifetime measures the round loop on the 64x64 mesh — one
-// static cell with light churn, so every round pays the full price:
-// the churn sweep over ~8k links, the pruned-adjacency rebuild, and
-// the broadcast itself. The custom rounds/sec metric is the headline;
-// make bench runs this and benchjson records it.
-func BenchmarkLifetime(b *testing.B) {
-	topo := grid.NewMesh2D4(64, 64)
-	spec := Spec{
+// benchSpec is the shared shape of the lifetime benchmarks: one cell,
+// Workers=1, rounds/sec as the headline metric.
+func benchSpec(m, n int, budgetJ, pfail float64, strat Strategy) Spec {
+	topo := grid.NewMesh2D4(m, n)
+	return Spec{
 		Topology:     topo,
 		Protocol:     core.ForTopology(topo.Kind()),
-		Source:       grid.C2(32, 32),
-		BudgetJ:      1, // nobody dies: measure steady-state rounds
+		Source:       grid.C2((m+1)/2, (n+1)/2),
+		BudgetJ:      budgetJ,
 		MaxRounds:    64,
 		Seed:         1,
 		Replications: 1,
-		Strategies:   []Strategy{Static},
-		PFail:        []float64{0.001},
+		Strategies:   []Strategy{strat},
+		PFail:        []float64{pfail},
 		PNew:         0.25,
 		Workers:      1,
 	}
+}
+
+func benchRounds(b *testing.B, spec Spec) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	rounds := 0
@@ -39,4 +39,56 @@ func BenchmarkLifetime(b *testing.B) {
 		rounds += cells[0].Rounds
 	}
 	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/sec")
+}
+
+// BenchmarkLifetime measures the round loop on the 64x64 mesh — one
+// static cell with light churn, so every round pays the full price:
+// the churn sweep over ~8k links, the graph upkeep, and the broadcast
+// itself. The custom rounds/sec metric is the headline; make bench
+// runs this and benchjson records it. The name and configuration are
+// pinned so benchjson pairs it with the pre-session baseline rows.
+func BenchmarkLifetime(b *testing.B) {
+	benchRounds(b, benchSpec(64, 64, 1, 0.001, Static))
+}
+
+// BenchmarkLifetimeReference is the identical study on the frozen
+// per-round sim.Run path (Spec.Reference), measured in the same
+// session so the session speedup is an honest A/B, not a
+// cross-machine comparison.
+func BenchmarkLifetimeReference(b *testing.B) {
+	spec := benchSpec(64, 64, 1, 0.001, Static)
+	spec.Reference = true
+	benchRounds(b, spec)
+}
+
+// BenchmarkLifetimeLadder walks the workload axes: death-only (no
+// churn, batteries small enough that nodes die and the graph shrinks),
+// churn-heavy (5% of ~8k links flip per round), and churn-heavy at
+// 128x128 (~32k links, 16k nodes).
+func BenchmarkLifetimeLadder(b *testing.B) {
+	b.Run("death-only-64", func(b *testing.B) {
+		benchRounds(b, benchSpec(64, 64, 0.003, 0, RoundRobin))
+	})
+	b.Run("churn-heavy-64", func(b *testing.B) {
+		benchRounds(b, benchSpec(64, 64, 1, 0.05, Static))
+	})
+	b.Run("churn-heavy-128", func(b *testing.B) {
+		benchRounds(b, benchSpec(128, 128, 1, 0.05, Static))
+	})
+}
+
+// BenchmarkLifetimeLadderReference runs the same rungs on the frozen
+// per-round path, so every EXPERIMENTS.md before/after pair comes from
+// one session on one machine.
+func BenchmarkLifetimeLadderReference(b *testing.B) {
+	ref := func(spec Spec) Spec { spec.Reference = true; return spec }
+	b.Run("death-only-64", func(b *testing.B) {
+		benchRounds(b, ref(benchSpec(64, 64, 0.003, 0, RoundRobin)))
+	})
+	b.Run("churn-heavy-64", func(b *testing.B) {
+		benchRounds(b, ref(benchSpec(64, 64, 1, 0.05, Static)))
+	})
+	b.Run("churn-heavy-128", func(b *testing.B) {
+		benchRounds(b, ref(benchSpec(128, 128, 1, 0.05, Static)))
+	})
 }

@@ -91,6 +91,19 @@ type Spec struct {
 	// link, shared across the grid.
 	PFail []float64
 	PNew  float64
+	// BurnInRounds steps the link churn Markov chain this many times
+	// before round 1, so churn starts at (or near) its stationary
+	// distribution instead of all-up. Burn-in consumes chain steps
+	// 1..BurnInRounds; live round r then draws step BurnInRounds+r, so
+	// BurnInRounds=0 reproduces the un-burned byte stream exactly.
+	// Burn-in is free of simulation work — only the chain advances.
+	BurnInRounds int
+	// Reference forces the frozen per-round sim.Run path (full config
+	// rebuild every round) instead of the round-persistent sim.Session.
+	// The two paths are byte-identical — locked by the differential
+	// matrix in session_test.go — so Reference exists for those tests
+	// and for honest benchmarking, not for production use.
+	Reference bool
 	// Workers sizes the cell-sharding pool (<= 0: GOMAXPROCS). Cells
 	// are sequential inside; the report is byte-identical at any count.
 	Workers int
@@ -169,6 +182,9 @@ func (s Spec) validate() error {
 	}
 	if s.PNew < 0 || s.PNew > 1 {
 		return fmt.Errorf("life: p_new %g outside [0, 1]", s.PNew)
+	}
+	if s.BurnInRounds < 0 {
+		return fmt.Errorf("life: burn-in rounds must be >= 0 (got %d)", s.BurnInRounds)
 	}
 	if len(s.Config.Down) > 0 || len(s.Config.DownLinks) > 0 || s.Config.Trace != nil {
 		return fmt.Errorf("life: Config.Down, DownLinks and Trace are owned by the round loop")
@@ -311,7 +327,10 @@ func RunCell(ctx context.Context, spec Spec, index int, ck Checkpointer) (CellRe
 		return CellReport{}, fmt.Errorf("life: cell index %d outside study of %d cells", index, spec.NumCells())
 	}
 	cell := spec.CellAt(index)
-	st := newCellState(spec, cell)
+	st, err := newCellState(spec, cell)
+	if err != nil {
+		return CellReport{}, fmt.Errorf("life: cell %d: %w", index, err)
+	}
 	if ck != nil {
 		if raw, ok := ck.Load(); ok {
 			if err := st.restore(raw); err != nil {
@@ -353,26 +372,27 @@ type cellState struct {
 	battery  []float64 // remaining Joules per dense index
 	dead     []bool
 	deadN    int
-	links    []link // the full link table, id = slice position
-	linkDown []bool // per link id
-	prevSrc  int32  // source of the previous round (dense index)
+	links    []sim.IndexLink // the full link table, id = slice position
+	linkDown []bool          // per link id
+	prevSrc  int32           // source of the previous round (dense index)
 	energyJ  float64
 	rep      CellReport
 
-	// Per-round scratch, rebuilt each round.
+	// sess is the round-persistent simulation session the round loop
+	// drives (nil under Spec.Reference): deaths and link flips are
+	// applied to it incrementally, once, as they happen.
+	sess *sim.Session
+
+	// Per-round scratch of the Reference path, rebuilt each round.
 	downCoords []grid.Coord
 	cutLinks   []sim.Link
 }
 
-// link is one undirected lattice link by dense endpoint indices, a < b.
-type link struct {
-	a, b int32
-}
-
 // newCellState builds the initial state of a cell: full batteries,
 // every link up, the configured source as "previous" so round-robin
-// starts right after it.
-func newCellState(spec Spec, cell Cell) *cellState {
+// starts right after it. The churn chain is burned in here — before
+// round 1 — so both checkpointed and fresh runs see the same chain.
+func newCellState(spec Spec, cell Cell) (*cellState, error) {
 	v := spec.Topology.NumNodes()
 	st := &cellState{
 		spec:    spec,
@@ -386,9 +406,19 @@ func newCellState(spec Spec, cell Cell) *cellState {
 		st.battery[i] = spec.BudgetJ
 	}
 	st.prevSrc = st.srcIdx
+	if !spec.Reference {
+		sess, err := sim.NewSession(spec.Topology, spec.Protocol, spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		st.sess = sess
+	}
 	if cell.PFail > 0 {
-		st.links = buildLinkTable(spec.Topology)
+		st.links = sim.LinksOf(spec.Topology)
 		st.linkDown = make([]bool, len(st.links))
+		for b := 1; b <= spec.BurnInRounds; b++ {
+			st.churnStep(b)
+		}
 	}
 	st.rep = CellReport{
 		Strategy: string(cell.Strategy),
@@ -397,25 +427,7 @@ func newCellState(spec Spec, cell Cell) *cellState {
 		Rep:      cell.Rep,
 		Seed:     cell.Seed,
 	}
-	return st
-}
-
-// buildLinkTable enumerates the undirected links in dense index order:
-// for each node i, its neighbors nb > i in IndexNeighbors emission
-// order. The table — and therefore every link id feeding the churn
-// draws — is a pure function of the topology.
-func buildLinkTable(t grid.Topology) []link {
-	var links []link
-	var buf []int32
-	for i := 0; i < t.NumNodes(); i++ {
-		buf = grid.IndexNeighbors(t, i, buf[:0])
-		for _, nb := range buf {
-			if nb > int32(i) {
-				links = append(links, link{a: int32(i), b: nb})
-			}
-		}
-	}
-	return links
+	return st, nil
 }
 
 // stopped reports whether the round loop has reached a terminal state:
@@ -463,30 +475,53 @@ func (st *cellState) pickSource() int32 {
 	return st.srcIdx
 }
 
-// churn advances the link Markov chain one round: an up link fails
-// with probability PFail, a down link recovers with probability PNew,
-// both decided by the same counter-based uniform
-// sim.ChurnUnit(cellSeed, round, linkID) — keyed by what is being
-// decided, so replays, resume and worker count cannot shift a draw.
+// churn advances the link Markov chain for live round r, which is
+// chain step BurnInRounds+r: burn-in consumed the earlier steps.
 func (st *cellState) churn(round int) {
 	if st.cell.PFail == 0 {
 		return
 	}
+	st.churnStep(st.spec.BurnInRounds + round)
+}
+
+// churnStep advances the chain one step: an up link fails with
+// probability PFail, a down link recovers with probability PNew, both
+// decided by the same counter-based uniform sim.ChurnUnit(cellSeed,
+// step, linkID) — keyed by what is being decided, so replays, resume
+// and worker count cannot shift a draw. Flips are mirrored into the
+// session as they happen.
+func (st *cellState) churnStep(step int) {
 	for id := range st.links {
-		u := sim.ChurnUnit(st.cell.Seed, round, int32(id))
+		u := sim.ChurnUnit(st.cell.Seed, step, int32(id))
 		if st.linkDown[id] {
 			if u < st.spec.PNew {
-				st.linkDown[id] = false
+				st.setLink(id, false)
 			}
 		} else if u < st.cell.PFail {
-			st.linkDown[id] = true
+			st.setLink(id, true)
 		}
 	}
 }
 
-// roundConfig assembles the sim config of one round: the base config
-// plus the current dead nodes and down links, both in deterministic
-// dense order.
+// setLink records one link state change, forwarding it to the session
+// (the ids are valid by construction: st.links and the session share
+// the LinksOf enumeration).
+func (st *cellState) setLink(id int, down bool) {
+	st.linkDown[id] = down
+	if st.sess == nil {
+		return
+	}
+	if down {
+		_ = st.sess.SetLinkDown(id)
+	} else {
+		_ = st.sess.SetLinkUp(id)
+	}
+}
+
+// roundConfig assembles the sim config of one Reference-path round:
+// the base config plus the current dead nodes and down links, both in
+// deterministic dense order. The session path never calls it — that
+// rebuild is exactly the per-round cost sessions eliminate.
 func (st *cellState) roundConfig() sim.Config {
 	cfg := st.spec.Config
 	if st.deadN > 0 {
@@ -504,8 +539,8 @@ func (st *cellState) roundConfig() sim.Config {
 			if d {
 				lk := st.links[id]
 				st.cutLinks = append(st.cutLinks, sim.Link{
-					A: st.spec.Topology.At(int(lk.a)),
-					B: st.spec.Topology.At(int(lk.b)),
+					A: st.spec.Topology.At(int(lk.A)),
+					B: st.spec.Topology.At(int(lk.B)),
 				})
 			}
 		}
@@ -522,7 +557,13 @@ func (st *cellState) round() error {
 		return fmt.Errorf("life: round %d has no alive source", r)
 	}
 	st.churn(r)
-	res, err := sim.Run(st.spec.Topology, st.spec.Protocol, st.spec.Topology.At(int(src)), st.roundConfig())
+	var res *sim.Result
+	var err error
+	if st.sess != nil {
+		res, err = st.sess.Run(st.spec.Topology.At(int(src)))
+	} else {
+		res, err = sim.Run(st.spec.Topology, st.spec.Protocol, st.spec.Topology.At(int(src)), st.roundConfig())
+	}
 	if err != nil {
 		return fmt.Errorf("life: round %d: %w", r, err)
 	}
@@ -548,6 +589,9 @@ func (st *cellState) round() error {
 			st.battery[i] = 0
 			st.dead[i] = true
 			st.deadN++
+			if st.sess != nil {
+				_ = st.sess.SetNodeDown(i) // i ranges over PerNodeEnergyJ: always in-mesh
+			}
 			if st.rep.FirstDeathRound == 0 {
 				st.rep.FirstDeathRound = r
 			}
@@ -663,7 +707,31 @@ func (st *cellState) restore(raw []byte) error {
 	st.prevSrc = s.PrevSource
 	st.rep = s.Report
 	st.energyJ = s.EnergyJ
+	st.syncSession()
 	return nil
+}
+
+// syncSession deterministically reconstructs the session's live graph
+// from the restored dead/linkDown state: reset to pristine, then
+// replay every failure. The resulting adjacency rows are identical to
+// the ones an uninterrupted session would hold (each row is a pure
+// filter of the pristine row by the current node/link state, whatever
+// mutation order produced it), so resumed runs stay byte-identical.
+func (st *cellState) syncSession() {
+	if st.sess == nil {
+		return
+	}
+	st.sess.Reset()
+	for i, d := range st.dead {
+		if d {
+			_ = st.sess.SetNodeDown(i)
+		}
+	}
+	for id, d := range st.linkDown {
+		if d {
+			_ = st.sess.SetLinkDown(id)
+		}
+	}
 }
 
 // finish seals the report.

@@ -1,0 +1,9 @@
+//go:build race
+
+package life
+
+// raceEnabled reports whether this test binary was built with -race.
+// The race detector intentionally defeats sync.Pool reuse (to shake
+// out races) and its instrumentation allocates, so the allocation
+// regression tests measure nothing real under it and skip themselves.
+const raceEnabled = true

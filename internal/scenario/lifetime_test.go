@@ -93,6 +93,7 @@ func TestLifetimeValidation(t *testing.T) {
 		},
 		"bad churn rate": func(s *Scenario) { s.Lifetime.ChurnRates = []float64{2} },
 		"bad p_new":      func(s *Scenario) { s.Lifetime.PNew = 1.5 },
+		"bad burn-in":    func(s *Scenario) { s.Lifetime.BurnInRounds = -1 },
 	}
 	for name, mut := range cases {
 		s := base
@@ -102,6 +103,38 @@ func TestLifetimeValidation(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// burnin_rounds decodes strictly (typos are named, with a hint) and
+// survives canonicalization: a zero burn-in is omitted from the
+// canonical form, so pre-existing documents keep their cache identity.
+func TestLifetimeBurnInDecodeAndCanonical(t *testing.T) {
+	doc := strings.Replace(lifetimeDoc, `"p_new": 0.25`, `"p_new": 0.25,
+    "burnin_rounds": 32`, 1)
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lifetime.BurnInRounds != 32 {
+		t.Fatalf("burnin_rounds = %d, want 32", s.Lifetime.BurnInRounds)
+	}
+	bad := strings.Replace(doc, `"burnin_rounds"`, `"burn_in_rounds"`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("typo'd burn-in field accepted")
+	} else if !strings.Contains(err.Error(), `did you mean "burnin_rounds"`) {
+		t.Errorf("no did-you-mean hint: %v", err)
+	}
+	c := s.Canonical()
+	if c.Lifetime.BurnInRounds != 32 {
+		t.Errorf("canonicalization dropped burn-in: %+v", c.Lifetime)
+	}
+	if c2 := c.Canonical(); !bytes.Equal(mustMarshal(t, c), mustMarshal(t, c2)) {
+		t.Error("canonicalization not idempotent with burn-in set")
+	}
+	// Zero burn-in is omitted, keeping historical document bytes stable.
+	if b := mustMarshal(t, loadLifetime(t).Canonical()); bytes.Contains(b, []byte("burnin_rounds")) {
+		t.Errorf("zero burn-in serialized into the canonical form: %s", b)
 	}
 }
 

@@ -100,6 +100,10 @@ type LifetimeSpec struct {
 	// link (0 = permanent failures).
 	ChurnRates []float64 `json:"churn_rates"`
 	PNew       float64   `json:"p_new,omitempty"`
+	// BurnInRounds steps the link churn chain this many times before
+	// round 1, so churn starts at steady state instead of all-up; 0
+	// keeps the historical all-up start byte-for-byte.
+	BurnInRounds int `json:"burnin_rounds,omitempty"`
 }
 
 // Scenario is one declarative experiment.
@@ -461,6 +465,9 @@ func (s Scenario) Compile() (grid.Topology, sim.Protocol, sim.Config, error) {
 		if cl.PNew < 0 || cl.PNew > 1 {
 			return nil, nil, sim.Config{}, fmt.Errorf("scenario: p_new %g outside [0, 1]", cl.PNew)
 		}
+		if cl.BurnInRounds < 0 {
+			return nil, nil, sim.Config{}, fmt.Errorf("scenario: burn-in rounds must be >= 0 (got %d)", cl.BurnInRounds)
+		}
 	}
 	return topo, p, cfg, nil
 }
@@ -671,6 +678,7 @@ func (s Scenario) lifeSpec(workers int, g sweep.Gauge) (life.Spec, error) {
 		Strategies:   sts,
 		PFail:        l.ChurnRates,
 		PNew:         l.PNew,
+		BurnInRounds: l.BurnInRounds,
 		Workers:      workers,
 		Gauge:        g,
 	}, nil
@@ -687,13 +695,14 @@ func (s Scenario) LifetimeCellCount() (int, error) {
 }
 
 // LifetimeMaxRounds returns the study's per-cell round bound, for
-// admission control.
+// admission control. Burn-in steps count toward the bound: they run
+// no broadcasts but still walk the whole link table per step.
 func (s Scenario) LifetimeMaxRounds() (int, error) {
 	spec, err := s.lifeSpec(0, nil)
 	if err != nil {
 		return 0, err
 	}
-	return spec.MaxRounds, nil
+	return spec.MaxRounds + spec.BurnInRounds, nil
 }
 
 // LifetimeReport runs the whole lifetime study, sharding cells across

@@ -109,6 +109,76 @@ func TestDownLinksWithDownNodes(t *testing.T) {
 	}
 }
 
+// Duplicate DownLinks entries are idempotent: the second removal of an
+// already-removed neighbor is a no-op, so listing a cut once, twice,
+// or with its endpoints swapped produces identical results. Pinned
+// because the session layer relies on removeNeighbor's no-op behavior
+// for exactly this case.
+func TestDownLinksDuplicatesIdempotent(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(1, 1)
+	lk := Link{A: grid.C2(4, 4), B: grid.C2(5, 4)}
+	once, err := Run(topo, allRelay("flood"), src, Config{DownLinks: []Link{lk}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := Run(topo, allRelay("flood"), src, Config{
+		DownLinks: []Link{lk, lk, {A: lk.B, B: lk.A}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Tx != once.Tx || dup.Rx != once.Rx || dup.Reached != once.Reached ||
+		dup.Delay != once.Delay || dup.Collisions != once.Collisions || dup.Repairs != once.Repairs {
+		t.Errorf("duplicate cut entries changed the run: got %v, want %v", dup, once)
+	}
+}
+
+// A self-referential A==B entry is a no-op (a node is never its own
+// lattice neighbor), not an error and not a graph change.
+func TestDownLinksSelfLinkNoOp(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 6)
+	src := grid.C2(2, 2)
+	base, err := Run(topo, allRelay("flood"), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(topo, allRelay("flood"), src, Config{
+		DownLinks: []Link{{A: grid.C2(3, 3), B: grid.C2(3, 3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tx != base.Tx || r.Rx != base.Rx || r.Reached != base.Reached || r.Delay != base.Delay {
+		t.Errorf("self link changed the run: got %v, want %v", r, base)
+	}
+}
+
+// A DownLinks entry whose endpoint is also in Down is redundant — the
+// node failure already removed every incident link — and the result
+// equals the Down-only run exactly.
+func TestDownLinksAlreadySeveredByDownNode(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(1, 1)
+	downOnly, err := Run(topo, allRelay("flood"), src, Config{
+		Down: []grid.Coord{grid.C2(5, 5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Run(topo, allRelay("flood"), src, Config{
+		Down:      []grid.Coord{grid.C2(5, 5)},
+		DownLinks: []Link{{A: grid.C2(5, 5), B: grid.C2(5, 4)}, {A: grid.C2(4, 5), B: grid.C2(5, 5)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Tx != downOnly.Tx || both.Rx != downOnly.Rx || both.Reached != downOnly.Reached ||
+		both.Delay != downOnly.Delay || both.Down != downOnly.Down {
+		t.Errorf("cutting a dead node's links changed the run: got %v, want %v", both, downOnly)
+	}
+}
+
 // Link churn forces the materialized adjacency path even where the
 // implicit indexer would normally engage (large grids, Irregular): the
 // cut must take effect, not be silently ignored by lattice arithmetic.

@@ -240,28 +240,34 @@ func runLoop(t grid.Topology, p Protocol, src grid.Coord, cfg Config) (*engine, 
 	}
 
 	e := getEngine(t, p, planFor(t, p, src), src, cfg, ix, adj, down)
+	return e, e.runSchedule()
+}
 
-	var inj []injection
+// runSchedule drives the schedule/repair loop to completion on a bound
+// engine: replay the schedule, plan repair injections for unreached
+// nodes, iterate to a fixpoint. Shared verbatim by sim.Run and the
+// round-persistent Session. The injection lists live in the pooled
+// arena (injPlan), so a steady-state schedule with no repairs plans
+// with zero allocations.
+func (e *engine) runSchedule() error {
+	inj := e.injPlan[:0]
+	defer func() { e.injPlan = inj[:0] }() // retain grown capacity
 	for round := 0; ; round++ {
 		e.reset(inj)
 		if err := e.drain(); err != nil {
-			return e, err
+			return err
 		}
-		if cfg.DisableRepair || !e.anyMissing() {
-			break
+		if e.cfg.DisableRepair || !e.anyMissing() {
+			return nil
 		}
-		if round >= cfg.MaxPlanRounds {
+		if round >= e.cfg.MaxPlanRounds {
 			// Fallback: serialized repairs after all other activity.
-			if err := e.appendRepair(); err != nil {
-				return e, err
-			}
-			break
+			return e.appendRepair()
 		}
 		if e.planInjections(&inj) == 0 {
-			break // unreached nodes are disconnected from the source
+			return nil // unreached nodes are disconnected from the source
 		}
 	}
-	return e, nil
 }
 
 // adjCache memoizes dense adjacency for the regular topologies, which
@@ -402,10 +408,15 @@ type engine struct {
 	inject     slotQueue // planned repair transmissions
 	injScratch []int32   // scratch txs for injection-only slots
 	shards     []stepShard
-	nbufStep   []int32 // serial step's neighbor scratch
-	nbufA      []int32 // planner scratch: missing node's neighbors
-	nbufB      []int32 // planner scratch: donor's neighbors
-	nbufC      []int32 // planner scratch: planned repair's neighbors
+	nbufStep   []int32     // serial step's neighbor scratch
+	nbufA      []int32     // planner scratch: missing node's neighbors
+	nbufB      []int32     // planner scratch: donor's neighbors
+	nbufC      []int32     // planner scratch: planned repair's neighbors
+	injPlan    []injection // accumulated repair injections across replay rounds
+	injRound   []injection // planner scratch: this round's injections
+	planHead   []int32     // planner index: 1+round-position of the latest injection per slot
+	planPrev   []int32     // planner index: per round-position, 1+position of the previous injection at the same slot
+	dedupBits  bitset      // dedupe scratch, all-zero between calls
 	traceBuf   []Event
 
 	outstanding int
@@ -604,7 +615,7 @@ func (e *engine) drain() error {
 			slot++
 			continue
 		}
-		txs = dedupe(txs)
+		txs = e.dedupeTxs(txs)
 		e.step(slot, txs)
 		e.last = slot
 		slot++
@@ -793,15 +804,11 @@ func (e *engine) anyMissing() bool { return e.res.Reached < e.res.Total }
 func (e *engine) isDown(i int32) bool { return e.down != nil && e.down[i] }
 
 // txAt reports whether node transmitted in the given slot of this
-// schedule, or is already planned to by pendingInj.
-func (e *engine) txAt(node int32, slot int, pendingInj []injection) bool {
+// schedule. Injections planned in the current round are consulted
+// separately through the per-slot chain index (planHead/planPrev).
+func (e *engine) txAt(node int32, slot int) bool {
 	for _, s := range e.txSlots[node] {
 		if s == slot {
-			return true
-		}
-	}
-	for _, in := range pendingInj {
-		if in.node == node && in.slot == slot {
 			return true
 		}
 	}
@@ -817,7 +824,8 @@ func (e *engine) txAt(node int32, slot int, pendingInj []injection) bool {
 // case on an almost-reached mesh — cost one compare per 64 nodes.
 func (e *engine) planInjections(inj *[]injection) int {
 	added := 0
-	var round []injection
+	round := e.injRound[:0]
+	e.planPrev = e.planPrev[:0]
 	v := int32(len(e.decode))
 	for u := e.covered.nextZero(0, v); u < v; u = e.covered.nextZero(u+1, v) {
 		if e.isDown(u) {
@@ -829,8 +837,22 @@ func (e *engine) planInjections(inj *[]injection) int {
 		}
 		slot := e.pickSlot(u, donor, round)
 		round = append(round, injection{node: donor, slot: slot})
+		// Chain the new entry into the per-slot index so later pickSlot
+		// calls consult only the injections sharing a candidate slot,
+		// not the whole round — the scan was quadratic in repair count.
+		for slot >= len(e.planHead) {
+			e.planHead = append(e.planHead, 0)
+		}
+		e.planPrev = append(e.planPrev, e.planHead[slot])
+		e.planHead[slot] = int32(len(round))
 		added++
 	}
+	// Restore the all-zero index invariant by unwinding the touched
+	// slots; a full clear would be O(maxSched) per planning round.
+	for _, in := range round {
+		e.planHead[in.slot] = 0
+	}
+	e.injRound = round[:0] // retain grown capacity
 	*inj = append(*inj, round...)
 	return added
 }
@@ -872,11 +894,12 @@ func (e *engine) pickSlot(u, donor int32, round []injection) int {
 func (e *engine) conflictAt(u, donor int32, s int, round []injection) bool {
 	filter := e.liveFilter()
 	// Another neighbor of u (or donor itself, collided) transmits at s.
-	for _, nb := range e.neighborsOf(u, &e.nbufA) {
+	uNbs := e.neighborsOf(u, &e.nbufA)
+	for _, nb := range uNbs {
 		if filter != nil && filter[nb] {
 			continue
 		}
-		if e.txAt(nb, s, round) {
+		if e.txAt(nb, s) {
 			return true
 		}
 	}
@@ -891,21 +914,32 @@ func (e *engine) conflictAt(u, donor int32, s int, round []injection) bool {
 			return true
 		}
 	}
-	// A repair planned this round delivers to a common neighbor at s.
-	for _, in := range round {
-		if in.slot != s {
-			continue
-		}
-		for _, w := range donorNbs {
-			if filter != nil && filter[w] {
-				continue
-			}
-			if w == in.node {
-				return true
-			}
-			for _, x := range e.neighborsOf(in.node, &e.nbufC) {
-				if x == w && e.decode[w] < 0 {
+	// Repairs already planned this round: only the chain of injections
+	// at exactly slot s can conflict — by transmitting next to u, or by
+	// delivering to a common neighbor of the donor. The per-slot index
+	// replaces a scan of the whole round per candidate slot.
+	if s < len(e.planHead) {
+		for idx := e.planHead[s]; idx > 0; idx = e.planPrev[idx-1] {
+			in := round[idx-1]
+			for _, nb := range uNbs {
+				if nb != in.node {
+					continue
+				}
+				if filter == nil || !filter[nb] {
 					return true
+				}
+			}
+			for _, w := range donorNbs {
+				if filter != nil && filter[w] {
+					continue
+				}
+				if w == in.node {
+					return true
+				}
+				for _, x := range e.neighborsOf(in.node, &e.nbufC) {
+					if x == w && e.decode[w] < 0 {
+						return true
+					}
 				}
 			}
 		}
@@ -940,12 +974,31 @@ func (e *engine) appendRepair() error {
 	return nil
 }
 
+// resultArena holds the backing arrays of the slices a Result carries
+// out of the engine. sim.Run hands finishInto an empty arena, so every
+// array is freshly allocated and the Result owns its memory outright;
+// a Session passes its persistent arena, so steady-state rounds write
+// the same backing arrays in place and allocate nothing.
+type resultArena struct {
+	energy  []float64
+	txSlots [][]int
+	flat    []int
+	decode  []int
+}
+
 // finish computes the derived metrics into a fresh Result. Only what
 // escapes is allocated: the Result itself, the widened DecodeSlot
 // copy, the TxSlots headers plus one flat backing array, and
 // PerNodeEnergyJ — the arena stays with the pooled engine.
 func (e *engine) finish() *Result {
-	r := new(Result)
+	return e.finishInto(new(Result), &resultArena{})
+}
+
+// finishInto is finish parameterized over the Result and the backing
+// arrays; see resultArena for the ownership contract. The computed
+// values are identical for every arena — only who owns the memory
+// changes.
+func (e *engine) finishInto(r *Result, a *resultArena) *Result {
 	*r = e.res
 	srcIdx := int(e.srcIdx)
 	for i, d := range e.decode {
@@ -955,25 +1008,40 @@ func (e *engine) finish() *Result {
 	}
 	etx := e.cfg.Model.TxEnergyJ(e.cfg.Packet.Bits, e.cfg.Packet.NeighborDistM)
 	erx := e.cfg.Model.RxEnergyJ(e.cfg.Packet.Bits)
+	v := len(e.txSlots)
 	// Sized by dense node index (down nodes hold 0), not by live
 	// count: consumers like the energy heatmap index it by t.Index.
-	r.PerNodeEnergyJ = make([]float64, len(e.txSlots))
+	if cap(a.energy) < v {
+		a.energy = make([]float64, v)
+	}
+	r.PerNodeEnergyJ = a.energy[:v]
 	totalTx := 0
 	for i := range r.PerNodeEnergyJ {
 		n := len(e.txSlots[i])
 		totalTx += n
 		r.PerNodeEnergyJ[i] = float64(n)*etx + float64(e.heard[i])*erx
 	}
-	r.TxSlots = make([][]int, len(e.txSlots))
-	flat := make([]int, 0, totalTx)
+	if cap(a.txSlots) < v {
+		a.txSlots = make([][]int, v)
+	}
+	r.TxSlots = a.txSlots[:v]
+	if cap(a.flat) < totalTx {
+		a.flat = make([]int, 0, totalTx)
+	}
+	flat := a.flat[:0]
 	for i, s := range e.txSlots {
 		if len(s) == 0 {
-			continue // keep nil rows nil, like the per-round engine did
+			r.TxSlots[i] = nil // keep nil rows nil, like the per-round engine did
+			continue
 		}
 		flat = append(flat, s...)
 		r.TxSlots[i] = flat[len(flat)-len(s) : len(flat) : len(flat)]
 	}
-	r.DecodeSlot = make([]int, len(e.decode))
+	a.flat = flat[:0]
+	if cap(a.decode) < v {
+		a.decode = make([]int, v)
+	}
+	r.DecodeSlot = a.decode[:v]
 	for i, d := range e.decode {
 		r.DecodeSlot[i] = int(d)
 	}

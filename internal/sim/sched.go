@@ -1,6 +1,9 @@
 package sim
 
-import "slices"
+import (
+	"math/bits"
+	"slices"
+)
 
 // slotQueue is a slot-indexed transmission schedule: bucket b holds
 // the nodes scheduled to transmit in absolute slot b. It replaces the
@@ -73,4 +76,46 @@ func dedupe(txs []int32) []int32 {
 		slices.Sort(txs)
 	}
 	return slices.Compact(txs)
+}
+
+// dedupeTxs is the engine's dedupe: for large buckets — wide wavefront
+// slots, churn-damaged meshes with many planned repairs — it trades
+// the comparison sort for one pass through a node-indexed bitset and
+// an ascending bit extraction, which yields exactly the same
+// sorted-unique list in O(n + touched words). Small buckets keep the
+// insertion-sort path, which wins below the crossover. The scratch
+// bitset is all-zero between calls: extraction clears each word as it
+// reads it.
+func (e *engine) dedupeTxs(txs []int32) []int32 {
+	const bitsetMin = 24
+	if len(txs) < bitsetMin {
+		return dedupe(txs)
+	}
+	if words := (len(e.decode) + 63) >> 6; len(e.dedupBits) < words {
+		e.dedupBits.sizeToBits(len(e.decode))
+	}
+	b := e.dedupBits
+	lo, hi := txs[0]>>6, txs[0]>>6
+	for _, v := range txs {
+		if w := v >> 6; w < lo {
+			lo = w
+		} else if w > hi {
+			hi = w
+		}
+		b.set(v)
+	}
+	out := txs[:0] // contents fully transferred to the bitset above
+	for w := lo; w <= hi; w++ {
+		word := b[w]
+		if word == 0 {
+			continue
+		}
+		b[w] = 0
+		base := w << 6
+		for word != 0 {
+			out = append(out, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return out
 }

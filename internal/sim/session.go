@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"wsnbcast/internal/grid"
+)
+
+// IndexLink is one undirected lattice link by dense endpoint indices,
+// A < B. Link ids used by Session.SetLinkDown/SetLinkUp index the
+// LinksOf table.
+type IndexLink struct {
+	A, B int32
+}
+
+// LinksOf enumerates the undirected links of t in dense index order:
+// for each node i, its neighbors nb > i in IndexNeighbors emission
+// order. The table — and therefore every link id a Session accepts —
+// is a pure function of the topology, so callers that persist link ids
+// (checkpoints, churn chains) can rebuild the same table later.
+func LinksOf(t grid.Topology) []IndexLink {
+	var links []IndexLink
+	var buf []int32
+	for i := 0; i < t.NumNodes(); i++ {
+		buf = grid.IndexNeighbors(t, i, buf[:0])
+		for _, nb := range buf {
+			if nb > int32(i) {
+				links = append(links, IndexLink{A: int32(i), B: nb})
+			}
+		}
+	}
+	return links
+}
+
+// A Session is a round-persistent simulation context: one (topology,
+// protocol, config) binding whose radio graph survives across Run
+// calls and is mutated incrementally. Where sim.Run pays a full
+// mutable-adjacency rebuild plus Coord round-trips for Down/DownLinks
+// on every call, a Session applies each state change exactly once, in
+// dense-index space, when it happens:
+//
+//   - SetNodeDown nils the node's row and splices it out of its
+//     neighbors' rows — O(deg²), not O(V·deg);
+//   - SetLinkDown / SetLinkUp edit exactly the two endpoint rows;
+//   - compiled relay plans are cached per source for the session's
+//     lifetime (a plan is a pure function of (topology, protocol,
+//     source) — the Protocol contract — so graph mutations never
+//     invalidate one);
+//   - the Result's slices live in a session-owned arena, rewritten in
+//     place each Run.
+//
+// The live adjacency invariant — every live node's row equals its
+// pristine row filtered by (neighbor alive && link up), order
+// preserved — is exactly the row sim.Run constructs from equivalent
+// Down/DownLinks lists, which is why session results are
+// byte-identical to the one-shot path (locked by the differential
+// tests).
+//
+// The returned Result and its slices are valid until the next Run,
+// Reset, or mutation on the same session. A Session is not safe for
+// concurrent use; Config.Workers still parallelizes inside each Run.
+type Session struct {
+	topo  grid.Topology
+	proto Protocol
+	cfg   Config // defaults applied once at NewSession
+	v     int
+
+	full [][]int32 // pristine adjacency, never mutated (may be cache-shared)
+	adj  [][]int32 // live adjacency: private rows, mutated incrementally
+
+	down  []bool // failed-node mask, allocated on first SetNodeDown
+	downN int
+
+	// Link state, built lazily on first SetLinkDown/SetLinkUp/NumLinks:
+	// the LinksOf table, the per-link down flags, and rowLink —
+	// rowLink[i][k] is the link id of (i, full[i][k]), which lets
+	// SetLinkUp rebuild an endpoint row by filtering the pristine row
+	// without any searching.
+	links    []IndexLink
+	linkDown []bool
+	rowLink  [][]int32
+
+	plans map[int32]*relayPlan // per-source compiled plans, session-cached
+
+	res   Result
+	arena resultArena
+}
+
+// NewSession validates the configuration once and builds the pristine
+// and live adjacency. Config.Down and Config.DownLinks must be empty:
+// the session owns node and link state via SetNodeDown / SetLinkDown.
+func NewSession(t grid.Topology, p Protocol, cfg Config) (*Session, error) {
+	if t == nil || p == nil {
+		return nil, fmt.Errorf("sim: session needs a topology and a protocol")
+	}
+	if len(cfg.Down) > 0 || len(cfg.DownLinks) > 0 {
+		return nil, fmt.Errorf("sim: session owns Down and DownLinks; use SetNodeDown/SetLinkDown")
+	}
+	v := t.NumNodes()
+	cfg = cfg.withDefaults(v)
+	if err := cfg.Packet.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSlots >= math.MaxInt32 {
+		return nil, fmt.Errorf("sim: MaxSlots %d exceeds the engine's int32 slot limit", cfg.MaxSlots)
+	}
+	s := &Session{
+		topo:  t,
+		proto: p,
+		cfg:   cfg,
+		v:     v,
+		full:  buildAdjacency(t, false),
+		plans: make(map[int32]*relayPlan),
+	}
+	s.adj = copyAdjacency(s.full)
+	return s, nil
+}
+
+// NumNodes returns the session topology's node count.
+func (s *Session) NumNodes() int { return s.v }
+
+// NumLinks returns the session topology's undirected link count (the
+// length of its LinksOf table).
+func (s *Session) NumLinks() int {
+	s.ensureLinks()
+	return len(s.links)
+}
+
+// Link returns the endpoints of link id, panicking on an out-of-range
+// id like a slice index would.
+func (s *Session) Link(id int) IndexLink {
+	s.ensureLinks()
+	return s.links[id]
+}
+
+// NodeDown reports whether the node at dense index i has been failed.
+func (s *Session) NodeDown(i int) bool { return s.down != nil && s.down[i] }
+
+// LinkDown reports whether link id is currently down.
+func (s *Session) LinkDown(id int) bool {
+	s.ensureLinks()
+	return s.linkDown[id]
+}
+
+// SetNodeDown fails the node at dense index i: it is spliced out of
+// its neighbors' rows (O(deg²)) and its own row is dropped, exactly
+// the graph sim.Run builds for a Config.Down entry. Idempotent; node
+// failures are permanent for the life of the session (Reset revives
+// everything). The splice walks the pristine row, so links already cut
+// by SetLinkDown are simply no-ops.
+func (s *Session) SetNodeDown(i int) error {
+	if i < 0 || i >= s.v {
+		return fmt.Errorf("sim: node index %d outside %d-node mesh", i, s.v)
+	}
+	if s.down == nil {
+		s.down = make([]bool, s.v)
+	}
+	if s.down[i] {
+		return nil
+	}
+	s.down[i] = true
+	s.downN++
+	for _, nb := range s.full[i] {
+		s.adj[nb] = removeNeighbor(s.adj[nb], int32(i))
+	}
+	s.adj[i] = nil
+	return nil
+}
+
+// SetLinkDown cuts link id (a LinksOf index): both directions leave
+// the radio graph by editing exactly the two endpoint rows. Idempotent.
+func (s *Session) SetLinkDown(id int) error {
+	s.ensureLinks()
+	if id < 0 || id >= len(s.links) {
+		return fmt.Errorf("sim: link id %d outside %d-link table", id, len(s.links))
+	}
+	if s.linkDown[id] {
+		return nil
+	}
+	s.linkDown[id] = true
+	lk := s.links[id]
+	s.adj[lk.A] = removeNeighbor(s.adj[lk.A], lk.B)
+	s.adj[lk.B] = removeNeighbor(s.adj[lk.B], lk.A)
+	return nil
+}
+
+// SetLinkUp restores link id. The two endpoint rows are rebuilt by
+// filtering the pristine rows against the current node and link state,
+// which restores the IndexNeighbors emission order an insertion could
+// not — the invariant the byte-identity argument rests on. Rows of
+// failed endpoints stay empty. Idempotent.
+func (s *Session) SetLinkUp(id int) error {
+	s.ensureLinks()
+	if id < 0 || id >= len(s.links) {
+		return fmt.Errorf("sim: link id %d outside %d-link table", id, len(s.links))
+	}
+	if !s.linkDown[id] {
+		return nil
+	}
+	s.linkDown[id] = false
+	lk := s.links[id]
+	s.rebuildRow(lk.A)
+	s.rebuildRow(lk.B)
+	return nil
+}
+
+// rebuildRow refilters node i's live row from its pristine row. The
+// row's backing array is reused: removeNeighbor never moves a row, so
+// capacity equals the pristine length.
+func (s *Session) rebuildRow(i int32) {
+	if s.down != nil && s.down[i] {
+		return // failed nodes keep their nil row
+	}
+	row := s.adj[i][:0]
+	for k, nb := range s.full[i] {
+		if s.down != nil && s.down[nb] {
+			continue
+		}
+		if s.linkDown[s.rowLink[i][k]] {
+			continue
+		}
+		row = append(row, nb)
+	}
+	s.adj[i] = row
+}
+
+// ensureLinks lazily builds the link table, the per-link down flags,
+// and the row→link-id mapping. Ids match LinksOf exactly: for node i,
+// its greater neighbors in pristine row order. The reverse direction
+// (nb < i) is resolved by ranking i among nb's greater neighbors —
+// O(V·deg²) once, never on the round path.
+func (s *Session) ensureLinks() {
+	if s.linkDown != nil || s.links != nil {
+		return
+	}
+	first := make([]int32, s.v) // first[i] = id of node i's first greater-neighbor link
+	total, n := 0, int32(0)
+	for i, row := range s.full {
+		first[i] = n
+		total += len(row)
+		for _, nb := range row {
+			if nb > int32(i) {
+				n++
+			}
+		}
+	}
+	s.links = make([]IndexLink, 0, n)
+	s.rowLink = make([][]int32, s.v)
+	flat := make([]int32, 0, total)
+	for i, row := range s.full {
+		gi := first[i]
+		for _, nb := range row {
+			if nb > int32(i) {
+				s.links = append(s.links, IndexLink{A: int32(i), B: nb})
+				flat = append(flat, gi)
+				gi++
+				continue
+			}
+			id := first[nb]
+			for _, x := range s.full[nb] {
+				if x == int32(i) {
+					break
+				}
+				if x > nb {
+					id++
+				}
+			}
+			flat = append(flat, id)
+		}
+		s.rowLink[i] = flat[len(flat)-len(row) : len(flat) : len(flat)]
+	}
+	s.linkDown = make([]bool, len(s.links))
+}
+
+// Reset revives every node and link, restoring the pristine graph.
+// Plans, arenas and the link table are retained; a restored checkpoint
+// replays its SetNodeDown/SetLinkDown calls on top of a Reset session
+// to reconstruct the exact live graph.
+func (s *Session) Reset() {
+	s.adj = copyAdjacency(s.full)
+	if s.down != nil {
+		clear(s.down)
+	}
+	s.downN = 0
+	if s.linkDown != nil {
+		clear(s.linkDown)
+	}
+}
+
+// Run simulates one broadcast from src on the session's current live
+// graph, reusing the session's compiled plan for that source and
+// writing the Result into the session arena. Semantics, error cases
+// and — for equal node/link state — output bytes match sim.Run
+// exactly; only the setup cost differs. The Result is valid until the
+// next Run, Reset, or mutation.
+func (s *Session) Run(src grid.Coord) (*Result, error) {
+	if !s.topo.Contains(src) {
+		return nil, fmt.Errorf("sim: source %s outside %s mesh", src, s.topo.Kind())
+	}
+	srcIdx := int32(s.topo.Index(src))
+	if s.down != nil && s.down[srcIdx] {
+		return nil, fmt.Errorf("sim: source %s is down", src)
+	}
+	pl := s.plans[srcIdx]
+	if pl == nil {
+		pl = planFor(s.topo, s.proto, src)
+		s.plans[srcIdx] = pl
+	}
+	down := s.down
+	if s.downN == 0 {
+		// sim.Run binds a nil mask when Config.Down is empty; mirroring
+		// that keeps the engine's nil-vs-allocated branches — and the
+		// Result's downMask — identical while every node is alive.
+		down = nil
+	}
+	e := getEngine(s.topo, s.proto, pl, src, s.cfg, nil, s.adj, down)
+	defer e.release()
+	if err := e.runSchedule(); err != nil {
+		return nil, err
+	}
+	res := e.finishInto(&s.res, &s.arena)
+	e.flushTrace()
+	return res, nil
+}

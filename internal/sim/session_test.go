@@ -1,0 +1,389 @@
+package sim_test
+
+// Session correctness suite: the round-persistent Session must be an
+// exact drop-in for sim.Run at every point of any mutation sequence —
+// node deaths, link cuts, link recoveries, in any order — because the
+// lifetime engine's byte-identity guarantee rests on it. Each test
+// drives a session through incremental mutations and compares every
+// Run against a cold sim.Run handed the equivalent Down/DownLinks
+// lists.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// sessionHarness pairs a session with the bookkeeping needed to build
+// the equivalent one-shot Config at any point of a mutation sequence.
+type sessionHarness struct {
+	t     *testing.T
+	topo  grid.Topology
+	proto sim.Protocol
+	cfg   sim.Config
+	sess  *sim.Session
+	links []sim.IndexLink
+	down  map[int]bool
+	cut   map[int]bool
+}
+
+func newSessionHarness(t *testing.T, topo grid.Topology, p sim.Protocol, cfg sim.Config) *sessionHarness {
+	t.Helper()
+	sess, err := sim.NewSession(topo, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sessionHarness{
+		t: t, topo: topo, proto: p, cfg: cfg, sess: sess,
+		links: sim.LinksOf(topo),
+		down:  map[int]bool{},
+		cut:   map[int]bool{},
+	}
+}
+
+func (h *sessionHarness) nodeDown(i int) {
+	h.t.Helper()
+	if err := h.sess.SetNodeDown(i); err != nil {
+		h.t.Fatal(err)
+	}
+	h.down[i] = true
+}
+
+func (h *sessionHarness) linkDown(id int) {
+	h.t.Helper()
+	if err := h.sess.SetLinkDown(id); err != nil {
+		h.t.Fatal(err)
+	}
+	h.cut[id] = true
+}
+
+func (h *sessionHarness) linkUp(id int) {
+	h.t.Helper()
+	if err := h.sess.SetLinkUp(id); err != nil {
+		h.t.Fatal(err)
+	}
+	delete(h.cut, id)
+}
+
+// oneShotConfig rebuilds the Down/DownLinks lists sim.Run would need
+// for the session's current state, in deterministic dense order (the
+// order the lifetime engine's roundConfig uses).
+func (h *sessionHarness) oneShotConfig() sim.Config {
+	cfg := h.cfg
+	for i := 0; i < h.topo.NumNodes(); i++ {
+		if h.down[i] {
+			cfg.Down = append(cfg.Down, h.topo.At(i))
+		}
+	}
+	for id := range h.links {
+		if h.cut[id] {
+			lk := h.links[id]
+			cfg.DownLinks = append(cfg.DownLinks, sim.Link{A: h.topo.At(int(lk.A)), B: h.topo.At(int(lk.B))})
+		}
+	}
+	return cfg
+}
+
+// check runs the session and the equivalent one-shot config from src
+// and compares the full Results (and trace streams) byte for byte.
+func (h *sessionHarness) check(src grid.Coord, label string) {
+	h.t.Helper()
+	var sessTrace, runTrace []sim.Event
+	h.cfg.Trace = nil // session was built without a trace; compare untraced first
+	got, err := h.sess.Run(src)
+	if err != nil {
+		h.t.Fatalf("%s: session: %v", label, err)
+	}
+	cfg := h.oneShotConfig()
+	cfg.Trace = func(ev sim.Event) { runTrace = append(runTrace, ev) }
+	want, err := sim.Run(h.topo, h.proto, src, cfg)
+	if err != nil {
+		h.t.Fatalf("%s: one-shot: %v", label, err)
+	}
+	gj, wj := mustResultJSON(h.t, got), mustResultJSON(h.t, want)
+	if !bytes.Equal(gj, wj) {
+		h.t.Fatalf("%s: session result differs from sim.Run:\n got %s\nwant %s", label, gj, wj)
+	}
+	// Trace equality needs a traced session of the same state: build one
+	// fresh and replay the mutations (cheap at test sizes).
+	tcfg := h.cfg
+	tcfg.Trace = func(ev sim.Event) { sessTrace = append(sessTrace, ev) }
+	tsess, err := sim.NewSession(h.topo, h.proto, tcfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for i := range h.down {
+		if err := tsess.SetNodeDown(i); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	for id := range h.cut {
+		if err := tsess.SetLinkDown(id); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	if _, err := tsess.Run(src); err != nil {
+		h.t.Fatalf("%s: traced session: %v", label, err)
+	}
+	if len(sessTrace) != len(runTrace) {
+		h.t.Fatalf("%s: trace length %d vs %d", label, len(sessTrace), len(runTrace))
+	}
+	for i := range sessTrace {
+		if sessTrace[i] != runTrace[i] {
+			h.t.Fatalf("%s: trace event %d: %+v vs %+v", label, i, sessTrace[i], runTrace[i])
+		}
+	}
+}
+
+func mustResultJSON(t *testing.T, r *sim.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// A scripted mutation sequence over every canonical topology: deaths
+// and link flips interleaved, including a recovery, checked against
+// the one-shot path after every step.
+func TestSessionDifferentialAllKinds(t *testing.T) {
+	for _, k := range grid.Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			topo := grid.Canonical(k)
+			src := topo.At(topo.NumNodes() / 2)
+			h := newSessionHarness(t, topo, core.ForTopology(k), sim.Config{})
+			h.check(src, "pristine")
+			h.nodeDown(3)
+			h.check(src, "one death")
+			h.linkDown(7)
+			h.linkDown(21)
+			h.check(src, "death+cuts")
+			h.linkUp(7)
+			h.check(src, "recovery")
+			h.nodeDown(topo.NumNodes() - 2)
+			h.linkDown(2)
+			h.check(src, "more churn")
+			// Rotate the source: per-source plans must stay correct.
+			h.check(topo.At(1), "rotated source")
+		})
+	}
+}
+
+// A pseudo-random churn storm on the 2D-4 mesh: many flips per step,
+// links cut and restored repeatedly, occasional deaths — the exact
+// access pattern of the lifetime hot loop.
+func TestSessionDifferentialChurnStorm(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 10)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	nl := len(h.links)
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 12; step++ {
+		for f := 0; f < 10; f++ {
+			id := next(nl)
+			if h.cut[id] {
+				h.linkUp(id)
+			} else {
+				h.linkDown(id)
+			}
+		}
+		if step%3 == 2 {
+			i := next(topo.NumNodes())
+			if i != topo.NumNodes()/2 && !h.down[i] {
+				h.nodeDown(i)
+			}
+		}
+		h.check(topo.At(topo.NumNodes()/2), "storm step")
+	}
+}
+
+// Cutting every link of a node and restoring them all must restore the
+// pristine result bytes: SetLinkUp rebuilds rows in IndexNeighbors
+// order, not insertion order.
+func TestSessionLinkUpRestoresPristine(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(1, 1)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	base, err := h.sess.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustResultJSON(t, base)
+	// Cut a batch in one order, restore in a different order.
+	cut := []int{40, 3, 17, 41, 8, 25}
+	for _, id := range cut {
+		h.linkDown(id)
+	}
+	for i := len(cut)/2 - 1; i >= 0; i-- { // restore half backwards...
+		h.linkUp(cut[i])
+	}
+	for _, id := range cut[len(cut)/2:] { // ...and half forwards
+		h.linkUp(id)
+	}
+	got, err := h.sess.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gj := mustResultJSON(t, got); !bytes.Equal(gj, want) {
+		t.Fatalf("restored session differs from pristine:\n got %s\nwant %s", gj, want)
+	}
+}
+
+// Reset revives everything at once.
+func TestSessionReset(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	src := grid.C2(4, 4)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	base, err := h.sess.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustResultJSON(t, base)
+	h.nodeDown(10)
+	h.linkDown(5)
+	h.sess.Reset()
+	got, err := h.sess.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gj := mustResultJSON(t, got); !bytes.Equal(gj, want) {
+		t.Fatalf("reset session differs from pristine:\n got %s\nwant %s", gj, want)
+	}
+	if h.sess.NodeDown(10) || h.sess.LinkDown(5) {
+		t.Error("Reset left node/link state set")
+	}
+}
+
+// Mutations are idempotent and link ids match the LinksOf table.
+func TestSessionMutationIdempotence(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 6)
+	sess, err := sim.NewSession(topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := sim.LinksOf(topo)
+	if sess.NumLinks() != len(links) {
+		t.Fatalf("NumLinks = %d, LinksOf has %d", sess.NumLinks(), len(links))
+	}
+	for id := range links {
+		if sess.Link(id) != links[id] {
+			t.Fatalf("link %d = %+v, LinksOf says %+v", id, sess.Link(id), links[id])
+		}
+	}
+	for i := 0; i < 3; i++ { // repeat everything: second calls must no-op
+		if err := sess.SetNodeDown(7); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.SetLinkDown(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sess.NodeDown(7) || !sess.LinkDown(4) {
+		t.Error("mutations not recorded")
+	}
+	got, err := sess.Run(grid.C2(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk := links[4]
+	want, err := sim.Run(topo, core.ForTopology(grid.Mesh2D4), grid.C2(1, 1), sim.Config{
+		Down:      []grid.Coord{topo.At(7)},
+		DownLinks: []sim.Link{{A: topo.At(int(lk.A)), B: topo.At(int(lk.B))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustResultJSON(t, got), mustResultJSON(t, want)) {
+		t.Error("idempotent mutations produced a different result")
+	}
+}
+
+// Error cases mirror sim.Run: bad source coordinates, a down source,
+// out-of-range mutation targets, and owned config fields.
+func TestSessionErrors(t *testing.T) {
+	topo := grid.NewMesh2D4(6, 6)
+	p := core.ForTopology(grid.Mesh2D4)
+	if _, err := sim.NewSession(topo, p, sim.Config{Down: []grid.Coord{grid.C2(1, 1)}}); err == nil {
+		t.Error("session accepted Config.Down")
+	}
+	if _, err := sim.NewSession(topo, p, sim.Config{DownLinks: []sim.Link{{A: grid.C2(1, 1), B: grid.C2(2, 1)}}}); err == nil {
+		t.Error("session accepted Config.DownLinks")
+	}
+	sess, err := sim.NewSession(topo, p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(grid.C2(99, 99)); err == nil {
+		t.Error("out-of-mesh source accepted")
+	}
+	if err := sess.SetNodeDown(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(topo.At(8)); err == nil {
+		t.Error("down source accepted")
+	}
+	if err := sess.SetNodeDown(-1); err == nil {
+		t.Error("negative node index accepted")
+	}
+	if err := sess.SetNodeDown(topo.NumNodes()); err == nil {
+		t.Error("out-of-range node index accepted")
+	}
+	if err := sess.SetLinkDown(-1); err == nil {
+		t.Error("negative link id accepted")
+	}
+	if err := sess.SetLinkUp(sess.NumLinks()); err == nil {
+		t.Error("out-of-range link id accepted")
+	}
+}
+
+// The steady-state session round is allocation-free up to pool churn:
+// the engine arena, injection plan, Result and all its slices are
+// reused in place. Budget 2 leaves slack for a GC emptying the engine
+// pool mid-measurement.
+func TestSessionAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool reuse and allocates for instrumentation; budget holds only in normal builds")
+	}
+	topo := grid.Canonical(grid.Mesh2D4)
+	src := topo.At(topo.NumNodes() / 2)
+	sess, err := sim.NewSession(topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state includes mutations: kill one node and cut one link up
+	// front so the down-mask path is exercised, then warm everything.
+	if err := sess.SetNodeDown(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetLinkDown(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	flip := false
+	allocs := testing.AllocsPerRun(100, func() {
+		// One link flip per round, like a churn-heavy lifetime cell.
+		flip = !flip
+		if flip {
+			_ = sess.SetLinkDown(30)
+		} else {
+			_ = sess.SetLinkUp(30)
+		}
+		if _, err := sess.Run(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state session round allocates %.1f/op, budget is 2", allocs)
+	}
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-scale bench-json benchstat vet verify lane-guard session-guard fuzz-smoke golden cover jobs-e2e
+.PHONY: all build test race bench bench-engine bench-scale bench-json bench-regress benchstat vet verify lane-guard session-guard delta-guard fuzz-smoke golden cover jobs-e2e
 
 all: verify
 
@@ -68,6 +68,16 @@ benchstat:
 	@test -f bench/current.txt || $(MAKE) bench-engine
 	benchstat bench/baseline.txt bench/current.txt
 
+# CI regression smoke: one iteration of the lifetime headline
+# benchmark, compared against the pinned baseline when benchstat is on
+# PATH. A single iteration carries no statistical weight, so the
+# benchstat diff is informational (|| true); the target fails only when
+# the benchmark itself fails to build or run — the regression this
+# smoke actually guards against.
+bench-regress:
+	$(GO) test ./internal/life -run='^$$' -bench='^BenchmarkLifetime$$' -benchmem -benchtime=1x | tee bench/regress.txt
+	@command -v benchstat >/dev/null 2>&1 && benchstat bench/baseline.txt bench/regress.txt || true
+
 vet:
 	$(GO) vet ./...
 
@@ -93,6 +103,20 @@ session-guard:
 	@$(GO) test ./internal/life -run='^$$' -list='^TestSessionDifferentialMatrix$$' | grep -q '^TestSessionDifferentialMatrix$$' || \
 		{ echo "verify: TestSessionDifferentialMatrix missing from internal/life"; exit 1; }
 
+# Guard: the delta-vs-sim.Run differential suites are the incremental
+# delta path's correctness contract (RunDelta byte-identical to the
+# frozen one-shot engine across mutations, rotation, repairs and
+# fallbacks, and the lifetime matrix equal with the delta path on and
+# off). Verify must fail loudly if a rename or build tag ever drops
+# them; the race target is what runs them under the race detector.
+delta-guard:
+	@$(GO) test ./internal/sim -run='^$$' -list='^TestDeltaDifferentialAllKinds$$' | grep -q '^TestDeltaDifferentialAllKinds$$' || \
+		{ echo "verify: TestDeltaDifferentialAllKinds missing from internal/sim"; exit 1; }
+	@$(GO) test ./internal/sim -run='^$$' -list='^TestDeltaDifferentialChurnStorm$$' | grep -q '^TestDeltaDifferentialChurnStorm$$' || \
+		{ echo "verify: TestDeltaDifferentialChurnStorm missing from internal/sim"; exit 1; }
+	@$(GO) test ./internal/life -run='^$$' -list='^TestSessionDifferentialMatrix$$' | grep -q '^TestSessionDifferentialMatrix$$' || \
+		{ echo "verify: TestSessionDifferentialMatrix missing from internal/life"; exit 1; }
+
 # Short fuzz smoke over the counter-based randomness layers — the
 # corpus seeds plus a few seconds of mutation; CI runs this on every
 # push. The churn target proves the lifetime engine's churn draws
@@ -102,7 +126,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzLaneFailureMasks -fuzztime=5s
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzChurnDomainDisjoint -fuzztime=5s
 
-verify: lane-guard session-guard build vet test race
+verify: lane-guard session-guard delta-guard build vet test race
 
 # Coverage profile over the whole module; CI uploads coverage.out as
 # an artifact. Atomic mode so the profile is also valid under -race.

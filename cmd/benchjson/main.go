@@ -5,8 +5,10 @@
 // target uses it to maintain BENCH_sim.json, the committed perf record
 // for the engine work: each invocation adds one entry to the history
 // array instead of overwriting the document, so the measurement
-// trajectory across PRs stays reviewable. CI regenerates and uploads
-// the same document as a build artifact.
+// trajectory across PRs stays reviewable. Re-running on a date that
+// already has a snapshot replaces that day's entry rather than
+// appending a duplicate. CI regenerates and uploads the same document
+// as a build artifact.
 //
 // Usage:
 //
@@ -237,7 +239,24 @@ func buildSnapshot(beforePath, afterPath, date string) (snapshot, error) {
 	}, nil
 }
 
-// run appends a dated snapshot to outPath's history (creating or
+// upsert adds snap to the history. A snapshot dated the same as an
+// existing entry replaces that entry in place — re-running bench-json
+// twice in a day must refresh the day's measurement, not record it
+// twice. Legacy dateless entries are never matched (and a dateless
+// snap never matches them), so converted pre-history files only grow.
+func upsert(hist []snapshot, snap snapshot) []snapshot {
+	if snap.Date != "" {
+		for i := range hist {
+			if hist[i].Date == snap.Date {
+				hist[i] = snap
+				return hist
+			}
+		}
+	}
+	return append(hist, snap)
+}
+
+// run upserts a dated snapshot into outPath's history (creating or
 // converting the file as needed), or writes a one-entry history to w
 // when outPath is empty.
 func run(beforePath, afterPath, outPath, date string, w io.Writer) error {
@@ -251,7 +270,7 @@ func run(beforePath, afterPath, outPath, date string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		hist = append(prev, snap)
+		hist = upsert(prev, snap)
 	}
 	var buf strings.Builder
 	enc := json.NewEncoder(&buf)

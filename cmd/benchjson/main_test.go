@@ -196,6 +196,54 @@ func TestRunAppendsHistory(t *testing.T) {
 	}
 }
 
+// TestRunReplacesSameDateSnapshot: re-running bench-json on a date
+// that already has an entry refreshes that entry in place instead of
+// appending a duplicate, while legacy dateless entries are never
+// matched by the upsert.
+func TestRunReplacesSameDateSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "before.txt")
+	ap := filepath.Join(dir, "after.txt")
+	out := filepath.Join(dir, "BENCH_sim.json")
+	os.WriteFile(bp, []byte(beforeText), 0o644)
+	os.WriteFile(ap, []byte(afterText), 0o644)
+
+	if err := run(bp, ap, out, "2026-08-05", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same date, different measurement (before vs itself: all pairs
+	// shared, so the entry count changes from 5 to 4).
+	if err := run(bp, bp, out, "2026-08-05", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bp, ap, out, "2026-08-06", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.History) != 2 {
+		t.Fatalf("history has %d entries, want 2 (same-date rerun must replace)", len(doc.History))
+	}
+	if doc.History[0].Date != "2026-08-05" || doc.History[1].Date != "2026-08-06" {
+		t.Fatalf("history dates wrong: %q, %q", doc.History[0].Date, doc.History[1].Date)
+	}
+	if n := len(doc.History[0].Results); n != 4 {
+		t.Errorf("replaced snapshot kept stale results: %d entries, want 4 from the rerun", n)
+	}
+
+	// Dateless snapshots (legacy conversions) never collide.
+	hist := upsert([]snapshot{{Baseline: "old"}}, snapshot{Baseline: "new"})
+	if len(hist) != 2 {
+		t.Errorf("dateless snapshot replaced a legacy entry: %d entries, want 2", len(hist))
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	dir := t.TempDir()
 	empty := filepath.Join(dir, "empty.txt")

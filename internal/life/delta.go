@@ -1,0 +1,25 @@
+package life
+
+import "sync/atomic"
+
+// Process-wide delta-propagation counters, accumulated as cells finish
+// (every RunCell, across all studies and goroutines). They are pure
+// observability — the HTTP service's /metrics document exposes them so
+// a long-running deployment can see the incremental path's hit rate —
+// and never feed back into results.
+var (
+	deltaHitsTotal      atomic.Uint64
+	deltaFallbacksTotal atomic.Uint64
+)
+
+func addDeltaTotals(hits, fallbacks uint64) {
+	deltaHitsTotal.Add(hits)
+	deltaFallbacksTotal.Add(fallbacks)
+}
+
+// DeltaTotals reports how many lifetime rounds this process served
+// from the incremental delta cone versus any full-engine fallback,
+// summed over every finished cell.
+func DeltaTotals() (hits, fallbacks uint64) {
+	return deltaHitsTotal.Load(), deltaFallbacksTotal.Load()
+}

@@ -1,0 +1,180 @@
+package life
+
+// Lifetime-level coverage of the incremental delta path: the hit-rate
+// counters, their invisibility on the wire, the churn-zero sweep skip,
+// and the rotation edge case where a round's own source dies during
+// that round.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+)
+
+// A static death-only cell must serve most rounds from the delta cone,
+// and every session round lands in exactly one counter; the reference
+// and NoDelta paths must report zero on both.
+func TestDeltaCountersPopulated(t *testing.T) {
+	spec := matrixSpec(grid.Mesh2D4)
+	spec.Strategies = []Strategy{Static}
+	spec.PFail = nil // death-only: the delta sweet spot
+
+	rep, err := RunCell(context.Background(), spec, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaHits == 0 {
+		t.Errorf("static death-only cell recorded no delta hits over %d rounds", rep.Rounds)
+	}
+	if got := rep.DeltaHits + rep.DeltaFallbacks; got != uint64(rep.Rounds) {
+		t.Errorf("hits %d + fallbacks %d != %d rounds", rep.DeltaHits, rep.DeltaFallbacks, rep.Rounds)
+	}
+
+	for name, mod := range map[string]func(*Spec){
+		"reference": func(s *Spec) { s.Reference = true },
+		"no-delta":  func(s *Spec) { s.NoDelta = true },
+	} {
+		s := spec
+		mod(&s)
+		r, err := RunCell(context.Background(), s, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DeltaHits != 0 || r.DeltaFallbacks != 0 {
+			t.Errorf("%s path recorded delta counters: hits %d fallbacks %d", name, r.DeltaHits, r.DeltaFallbacks)
+		}
+	}
+
+	hits, _ := DeltaTotals()
+	if hits == 0 {
+		t.Error("package delta totals never incremented")
+	}
+}
+
+// The delta counters are debug-only: two reports differing solely in
+// them must marshal to identical bytes, or the differential matrix,
+// checkpoints and result-cache identity would all see phantom diffs.
+func TestDeltaCountersInvisibleOnWire(t *testing.T) {
+	a := CellReport{Strategy: "static", Rounds: 7}
+	b := a
+	b.DeltaHits, b.DeltaFallbacks = 6, 1
+	if !bytes.Equal(mustJSON(t, a), mustJSON(t, b)) {
+		t.Error("delta counters leak into the CellReport JSON")
+	}
+}
+
+// Churn-zero pin (issue satellite): with p_fail == 0 and p_new == 0
+// the churn sweep is skipped entirely. The report must stay
+// byte-identical to the frozen reference path, and burn-in — which
+// only advances the (empty) chain — must change nothing.
+func TestChurnZeroSweepSkipByteIdentity(t *testing.T) {
+	spec := matrixSpec(grid.Mesh2D4)
+	spec.PFail = []float64{0}
+	spec.PNew = 0
+
+	ref := spec
+	ref.Reference = true
+	want, err := Run(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Error("churn-0 session report differs from reference")
+	}
+
+	burned := spec
+	burned.BurnInRounds = 32
+	burnedRep, err := Run(context.Background(), burned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, burnedRep), mustJSON(t, want)) {
+		t.Error("burn-in on a churn-0 study changed the report")
+	}
+}
+
+// Permanent failures (p_new == 0, p_fail > 0) take the skip-the-
+// recovery-draw branch; the report must still match the reference.
+func TestPermanentFailureChurnByteIdentity(t *testing.T) {
+	spec := matrixSpec(grid.Mesh2D4)
+	spec.PFail = []float64{0.05}
+	spec.PNew = 0
+
+	ref := spec
+	ref.Reference = true
+	want, err := Run(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Error("permanent-failure session report differs from reference")
+	}
+}
+
+// Rotation edge case (issue satellite): a round whose own source dies
+// during that round. pickSource only ever returns alive nodes, so a
+// dead prevSrc after round() means the source died while sourcing;
+// the loop must carry on (round-robin skips the corpse) and all three
+// computation paths must agree byte for byte.
+func TestRotationSourceDiesSameRound(t *testing.T) {
+	topo := grid.New(grid.Mesh2D4, 8, 8, 1)
+	spec := Spec{
+		Topology:     topo,
+		Protocol:     core.ForTopology(grid.Mesh2D4),
+		Source:       topo.At(topo.NumNodes() / 2),
+		BudgetJ:      0.003,
+		MaxRounds:    96,
+		Seed:         11,
+		Replications: 1,
+		Strategies:   []Strategy{RoundRobin},
+	}
+	probe := spec
+	probe.Reference = true
+	st, err := newCellState(probe, probe.CellAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	occurred := false
+	for !st.stopped() {
+		if err := st.round(); err != nil {
+			t.Fatal(err)
+		}
+		if st.dead[st.prevSrc] {
+			occurred = true
+		}
+	}
+	if !occurred {
+		t.Fatalf("no source died during its own round in %d rounds; retune the budget", st.rep.Rounds)
+	}
+
+	want, err := RunCell(context.Background(), probe, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := mustJSON(t, want)
+	for name, mod := range map[string]func(*Spec){
+		"session-delta":    func(s *Spec) {},
+		"session-no-delta": func(s *Spec) { s.NoDelta = true },
+	} {
+		s := spec
+		mod(&s)
+		got, err := RunCell(context.Background(), s, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(mustJSON(t, got), wantJSON) {
+			t.Errorf("%s report differs from reference after a same-round source death", name)
+		}
+	}
+}

@@ -104,6 +104,12 @@ type Spec struct {
 	// matrix in session_test.go — so Reference exists for those tests
 	// and for honest benchmarking, not for production use.
 	Reference bool
+	// NoDelta keeps the session path but forces full Session.Run rounds
+	// instead of the default incremental Session.RunDelta — the
+	// `wsnlife -no-delta` escape hatch. Like Reference it never changes
+	// report bytes (RunDelta is byte-identical by contract), only how
+	// each round is computed.
+	NoDelta bool
 	// Workers sizes the cell-sharding pool (<= 0: GOMAXPROCS). Cells
 	// are sequential inside; the report is byte-identical at any count.
 	Workers int
@@ -244,6 +250,16 @@ type CellReport struct {
 	// TotalEnergyJ is the cumulative radio energy of all rounds.
 	TotalEnergyJ float64      `json:"total_energy_j"`
 	Curve        []CurvePoint `json:"curve,omitempty"`
+
+	// DeltaHits / DeltaFallbacks are in-process debug counters: how many
+	// of the cell's rounds the session served from the incremental delta
+	// cone versus any full-engine path. Deliberately excluded from JSON
+	// (json:"-") so the wire format, checkpoints and result-cache
+	// identity are byte-identical whether or not the delta path ran —
+	// the differential matrix depends on that. Zero under
+	// Spec.Reference/NoDelta; counters reset on checkpoint resume.
+	DeltaHits      uint64 `json:"-"`
+	DeltaFallbacks uint64 `json:"-"`
 }
 
 // Checkpointer persists a cell's round-loop state between calls, so an
@@ -490,14 +506,25 @@ func (st *cellState) churn(round int) {
 // step, linkID) — keyed by what is being decided, so replays, resume
 // and worker count cannot shift a draw. Flips are mirrored into the
 // session as they happen.
+//
+// Draws a state transition cannot use are skipped entirely: with
+// p_fail == 0 and p_new == 0 the whole sweep is dead weight, and with
+// p_new == 0 (permanent failures) down links need no uniform. Skipping
+// is byte-identical because ChurnUnit is keyed by (seed, step, id) —
+// an unconsumed draw can never shift another link's uniform — and a
+// threshold of zero rejects every u in [0, 1) anyway; the churn-zero
+// pin tests lock this.
 func (st *cellState) churnStep(step int) {
+	pf, pn := st.cell.PFail, st.spec.PNew
+	if pf == 0 && pn == 0 {
+		return
+	}
 	for id := range st.links {
-		u := sim.ChurnUnit(st.cell.Seed, step, int32(id))
 		if st.linkDown[id] {
-			if u < st.spec.PNew {
+			if pn > 0 && sim.ChurnUnit(st.cell.Seed, step, int32(id)) < pn {
 				st.setLink(id, false)
 			}
-		} else if u < st.cell.PFail {
+		} else if pf > 0 && sim.ChurnUnit(st.cell.Seed, step, int32(id)) < pf {
 			st.setLink(id, true)
 		}
 	}
@@ -560,7 +587,12 @@ func (st *cellState) round() error {
 	var res *sim.Result
 	var err error
 	if st.sess != nil {
-		res, err = st.sess.Run(st.spec.Topology.At(int(src)))
+		at := st.spec.Topology.At(int(src))
+		if st.spec.NoDelta {
+			res, err = st.sess.Run(at)
+		} else {
+			res, err = st.sess.RunDelta(at)
+		}
 	} else {
 		res, err = sim.Run(st.spec.Topology, st.spec.Protocol, st.spec.Topology.At(int(src)), st.roundConfig())
 	}
@@ -734,9 +766,15 @@ func (st *cellState) syncSession() {
 	}
 }
 
-// finish seals the report.
+// finish seals the report, folding the session's delta counters into
+// the debug fields and the package totals (served at /metrics).
 func (st *cellState) finish() CellReport {
 	st.rep.Deaths = st.deadN
 	st.rep.TotalEnergyJ = st.energyJ
+	if st.sess != nil {
+		hits, falls := st.sess.DeltaStats()
+		st.rep.DeltaHits, st.rep.DeltaFallbacks = hits, falls
+		addDeltaTotals(hits, falls)
+	}
 	return st.rep
 }

@@ -51,15 +51,18 @@ func TestSessionDifferentialMatrix(t *testing.T) {
 			}
 			wantJSON := mustJSON(t, want)
 			for _, workers := range []int{1, 2, 8} {
-				spec := matrixSpec(k)
-				spec.Workers = workers
-				got, err := Run(context.Background(), spec)
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				if gotJSON := mustJSON(t, got); !bytes.Equal(gotJSON, wantJSON) {
-					t.Errorf("workers=%d: session report differs from reference:\n got %s\nwant %s",
-						workers, gotJSON, wantJSON)
+				for _, noDelta := range []bool{false, true} {
+					spec := matrixSpec(k)
+					spec.Workers = workers
+					spec.NoDelta = noDelta
+					got, err := Run(context.Background(), spec)
+					if err != nil {
+						t.Fatalf("workers=%d noDelta=%v: %v", workers, noDelta, err)
+					}
+					if gotJSON := mustJSON(t, got); !bytes.Equal(gotJSON, wantJSON) {
+						t.Errorf("workers=%d noDelta=%v: session report differs from reference:\n got %s\nwant %s",
+							workers, noDelta, gotJSON, wantJSON)
+					}
 				}
 			}
 		})

@@ -1,0 +1,448 @@
+package sim_test
+
+// Delta-propagation correctness suite: Session.RunDelta must be an
+// exact drop-in for sim.Run at every point of any mutation sequence,
+// whether a round is served from the incremental cone, the zero-seed
+// shortcut, or any fallback to the full engine. Every check compares
+// the full Result JSON against a cold sim.Run handed the equivalent
+// Down/DownLinks lists — the same oracle the session suite uses — so
+// the splice-equals-resimulate argument is locked byte for byte.
+
+import (
+	"bytes"
+	"testing"
+
+	"wsnbcast/internal/core"
+	"wsnbcast/internal/grid"
+	"wsnbcast/internal/sim"
+)
+
+// checkDelta runs RunDelta and compares against the one-shot oracle.
+func (h *sessionHarness) checkDelta(src grid.Coord, label string) {
+	h.t.Helper()
+	got, err := h.sess.RunDelta(src)
+	if err != nil {
+		h.t.Fatalf("%s: RunDelta: %v", label, err)
+	}
+	want, err := sim.Run(h.topo, h.proto, src, h.oneShotConfig())
+	if err != nil {
+		h.t.Fatalf("%s: one-shot: %v", label, err)
+	}
+	gj, wj := mustResultJSON(h.t, got), mustResultJSON(h.t, want)
+	if !bytes.Equal(gj, wj) {
+		h.t.Fatalf("%s: RunDelta result differs from sim.Run:\n got %s\nwant %s", label, gj, wj)
+	}
+}
+
+// The scripted all-kinds sequence from the session suite, driven
+// through RunDelta: deaths, cuts, a recovery, repeated no-mutation
+// rounds (the zero-seed shortcut), a plain Run interleaved, and a
+// source rotation — each step checked against the oracle.
+func TestDeltaDifferentialAllKinds(t *testing.T) {
+	for _, k := range grid.Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			topo := grid.Canonical(k)
+			src := topo.At(topo.NumNodes() / 2)
+			h := newSessionHarness(t, topo, core.ForTopology(k), sim.Config{})
+			h.checkDelta(src, "pristine")
+			h.checkDelta(src, "pristine again") // zero seeds: cached bytes
+			h.nodeDown(3)
+			h.checkDelta(src, "one death")
+			h.linkDown(7)
+			h.linkDown(21)
+			h.checkDelta(src, "death+cuts")
+			h.linkUp(7)
+			h.checkDelta(src, "recovery")
+			h.linkDown(21) // toggled back up and down: net parity zero
+			h.linkUp(21)
+			h.checkDelta(src, "parity cancel")
+			h.check(src, "plain Run interleaved") // session.Run between deltas
+			h.nodeDown(topo.NumNodes() - 2)
+			h.linkDown(2)
+			h.checkDelta(src, "more churn")
+			h.checkDelta(topo.At(1), "rotated source")
+			h.checkDelta(src, "rotated back")
+			hits, _ := h.sess.DeltaStats()
+			if hits == 0 {
+				t.Error("delta path never engaged: the suite is vacuous")
+			}
+		})
+	}
+}
+
+// A pseudo-random churn storm driven through RunDelta on the 2D-4
+// mesh: many flips per step, links cut and restored repeatedly,
+// occasional deaths — the lifetime hot loop's exact access pattern.
+func TestDeltaDifferentialChurnStorm(t *testing.T) {
+	topo := grid.NewMesh2D4(10, 10)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	nl := len(h.links)
+	rng := uint64(54321)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 16; step++ {
+		for f := 0; f < 8; f++ {
+			id := next(nl)
+			if h.cut[id] {
+				h.linkUp(id)
+			} else {
+				h.linkDown(id)
+			}
+		}
+		if step%3 == 2 {
+			i := next(topo.NumNodes())
+			if i != topo.NumNodes()/2 && !h.down[i] {
+				h.nodeDown(i)
+			}
+		}
+		h.checkDelta(topo.At(topo.NumNodes()/2), "storm step")
+	}
+	hits, _ := h.sess.DeltaStats()
+	if hits == 0 {
+		t.Error("delta path never engaged during the storm")
+	}
+}
+
+// The same storm under flooding, whose collision holes make the
+// repair planner inject retransmissions: the cone walk must replan
+// injections through the real engine and splice multi-replay caches,
+// or abort to the exact full path — byte-identical either way.
+func TestDeltaDifferentialFloodingRepairs(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	h := newSessionHarness(t, topo, core.NewFlooding(), sim.Config{})
+	nl := len(h.links)
+	rng := uint64(99)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	src := topo.At(topo.NumNodes() / 2)
+	base, err := sim.Run(topo, core.NewFlooding(), src, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Repairs == 0 {
+		t.Fatal("flooding run has no repairs: the multi-replay path is untested")
+	}
+	for step := 0; step < 12; step++ {
+		for f := 0; f < 4; f++ {
+			id := next(nl)
+			if h.cut[id] {
+				h.linkUp(id)
+			} else {
+				h.linkDown(id)
+			}
+		}
+		h.checkDelta(src, "flooding storm step")
+	}
+}
+
+// Alternating sources never arm the cache (each snapshot would be
+// stale before use), but a source that settles re-points it: the
+// stability heuristic must keep both patterns byte-identical and
+// re-engage the cone once the origin sticks.
+func TestDeltaSourceRotation(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	a, b := topo.At(10), topo.At(50)
+	for i := 0; i < 4; i++ {
+		h.linkDown(i * 3)
+		h.checkDelta(a, "alternating A")
+		h.checkDelta(b, "alternating B")
+	}
+	hitsBefore, _ := h.sess.DeltaStats()
+	for i := 0; i < 4; i++ {
+		h.linkUp(i * 3)
+		h.checkDelta(b, "settled B")
+	}
+	hitsAfter, _ := h.sess.DeltaStats()
+	if hitsAfter <= hitsBefore {
+		t.Errorf("delta path did not re-engage after the source settled: hits %d -> %d",
+			hitsBefore, hitsAfter)
+	}
+	if reasons := h.sess.DeltaFallbacksByReason(); reasons["source_changed"] == 0 {
+		t.Errorf("no source_changed fallbacks recorded: %v", reasons)
+	}
+}
+
+// Scalar configs (trace, lossy channel) are inherently full-run; the
+// delta entry point must route them to the plain path — counted as
+// scalar fallbacks — and still match the oracle.
+func TestDeltaScalarConfigFallsBack(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	p := core.ForTopology(grid.Mesh2D4)
+	src := topo.At(20)
+	cfg := sim.Config{Channel: sim.NewBernoulliLoss(9, 0.1)}
+	sess, err := sim.NewSession(topo, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if err := sess.SetLinkDown(round + 4); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.RunDelta(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := cfg
+		for id := 4; id <= round+4; id++ {
+			lk := sim.LinksOf(topo)[id]
+			oracle.DownLinks = append(oracle.DownLinks, sim.Link{A: topo.At(int(lk.A)), B: topo.At(int(lk.B))})
+		}
+		want, err := sim.Run(topo, p, src, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustResultJSON(t, got), mustResultJSON(t, want)) {
+			t.Fatalf("round %d: lossy RunDelta differs from sim.Run", round)
+		}
+	}
+	hits, falls := sess.DeltaStats()
+	if hits != 0 || falls != 3 {
+		t.Errorf("lossy session: hits %d falls %d, want 0/3", hits, falls)
+	}
+	if reasons := sess.DeltaFallbacksByReason(); reasons["scalar"] != 3 {
+		t.Errorf("fallback reasons = %v, want scalar:3", reasons)
+	}
+}
+
+// Forcing the seed-overflow threshold down to its floor makes a large
+// mutation batch fall back — byte-identically — while a later small
+// batch re-engages the cone.
+func TestDeltaForcedSeedOverflow(t *testing.T) {
+	defer sim.SetDeltaSeedDivForTest(1 << 30)() // cap = 64 + ~0
+	topo := grid.NewMesh2D4(10, 10)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	src := topo.At(topo.NumNodes() / 2)
+	h.checkDelta(src, "arm cache")
+	for id := 0; id < 70; id++ { // 70 seeds > the 64-seed floor
+		h.linkDown(id)
+	}
+	h.checkDelta(src, "overflow batch")
+	if reasons := h.sess.DeltaFallbacksByReason(); reasons["seed_overflow"] == 0 {
+		t.Fatalf("no seed_overflow fallback: %v", reasons)
+	}
+	h.linkUp(3)
+	h.checkDelta(src, "small batch after overflow")
+	if hits, _ := h.sess.DeltaStats(); hits == 0 {
+		t.Error("cone never re-engaged after the overflow re-capture")
+	}
+}
+
+// Forcing the event budget to its floor aborts the cone mid-drain.
+// The abort must leave no stale queue buckets behind: after restoring
+// the budget, the very next small delta must succeed byte-identically
+// (a dirty bucket would surface as spurious events or a false
+// event_budget abort).
+func TestDeltaForcedEventBudgetAndQueueCleanup(t *testing.T) {
+	restore := sim.SetDeltaEventBudgetForTest(-1<<20, 8) // budget < 0: first event aborts
+	topo := grid.NewMesh2D4(10, 10)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	src := topo.At(topo.NumNodes() / 2)
+	h.checkDelta(src, "arm cache")
+	for id := 20; id < 50; id++ {
+		h.linkDown(id)
+	}
+	h.checkDelta(src, "over-budget batch")
+	if reasons := h.sess.DeltaFallbacksByReason(); reasons["event_budget"] == 0 {
+		restore()
+		t.Fatalf("no event_budget fallback: %v", reasons)
+	}
+	restore()
+	hitsBefore, _ := h.sess.DeltaStats()
+	h.linkUp(25)
+	h.checkDelta(src, "small batch after abort")
+	if hits, _ := h.sess.DeltaStats(); hits <= hitsBefore {
+		t.Error("cone did not recover after the aborted walk")
+	}
+}
+
+// Reset drops the cache: the next RunDelta is a cold re-capture and
+// the pristine bytes come back exactly.
+func TestDeltaReset(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	src := topo.At(30)
+	base, err := h.sess.RunDelta(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustResultJSON(t, base)
+	h.nodeDown(10)
+	h.linkDown(5)
+	h.checkDelta(src, "mutated")
+	h.sess.Reset()
+	h.down = map[int]bool{}
+	h.cut = map[int]bool{}
+	if h.sess.DeltaCacheValidForTest() {
+		t.Error("Reset left the delta cache armed")
+	}
+	got, err := h.sess.RunDelta(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gj := mustResultJSON(t, got); !bytes.Equal(gj, want) {
+		t.Fatalf("reset RunDelta differs from pristine:\n got %s\nwant %s", gj, want)
+	}
+}
+
+// The zero-seed shortcut returns the identical Result pointer with
+// identical bytes — the graph has not changed, so the previous round's
+// assembled Result IS this round's.
+func TestDeltaZeroSeedShortcut(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	sess, err := sim.NewSession(topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topo.At(30)
+	first, err := sess.RunDelta(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustResultJSON(t, first)
+	again, err := sess.RunDelta(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Error("unchanged-graph RunDelta rebuilt the Result instead of returning the cached one")
+	}
+	if got := mustResultJSON(t, again); !bytes.Equal(got, want) {
+		t.Fatalf("cached Result bytes changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+// Every RunDelta call lands in exactly one bucket: hits + fallbacks
+// must equal the call count.
+func TestDeltaStatsAccounting(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	src := topo.At(30)
+	calls := 0
+	step := func(mutate func()) {
+		mutate()
+		h.checkDelta(src, "stats step")
+		calls++
+	}
+	step(func() {})
+	step(func() {})
+	step(func() { h.linkDown(3) })
+	step(func() { h.nodeDown(7) })
+	step(func() { h.linkUp(3) })
+	hits, falls := h.sess.DeltaStats()
+	if int(hits+falls) != calls {
+		t.Errorf("hits %d + fallbacks %d != %d RunDelta calls", hits, falls, calls)
+	}
+}
+
+// Session mutation edge cases (issue satellite): SetLinkUp on a link
+// whose endpoint node is already down must keep the dead node's row
+// empty while restoring the live endpoint's view — under both Run and
+// RunDelta.
+func TestSessionLinkUpWithDeadEndpoint(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	src := topo.At(topo.NumNodes() / 2)
+	// Find a link incident to node 9, kill node 9, then cut and restore
+	// that link around delta rounds.
+	var id int = -1
+	for i, lk := range h.links {
+		if lk.A == 9 || lk.B == 9 {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		t.Fatal("node 9 has no links")
+	}
+	h.nodeDown(9)
+	h.checkDelta(src, "dead endpoint")
+	h.linkDown(id)
+	h.checkDelta(src, "cut link on dead endpoint")
+	h.linkUp(id)
+	h.checkDelta(src, "restored link on dead endpoint")
+	h.check(src, "plain run agrees")
+}
+
+// Repeated SetNodeDown of the same node across delta rounds is a
+// no-op after the first call: no duplicate seeds, no byte drift.
+func TestSessionRepeatedNodeDownDelta(t *testing.T) {
+	topo := grid.NewMesh2D4(8, 8)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	src := topo.At(topo.NumNodes() / 2)
+	h.checkDelta(src, "pristine")
+	h.nodeDown(12)
+	h.checkDelta(src, "first death")
+	for i := 0; i < 3; i++ {
+		if err := h.sess.SetNodeDown(12); err != nil {
+			t.Fatal(err)
+		}
+		h.checkDelta(src, "repeated death")
+	}
+}
+
+// A churn rate that overflows the seed cap round after round must trip
+// the overload latch: after two consecutive capacity fallbacks the
+// session drops the cache and runs plain (no snapshot tax) until the
+// suppression window expires, then re-captures and serves deltas
+// again. Output stays byte-identical throughout.
+func TestDeltaOverloadLatch(t *testing.T) {
+	defer sim.SetDeltaSeedDivForTest(1 << 30)() // seed cap = 64 + ~0
+	defer sim.SetDeltaSuppressForTest(4, 8)()
+	topo := grid.NewMesh2D4(10, 10)
+	h := newSessionHarness(t, topo, core.ForTopology(grid.Mesh2D4), sim.Config{})
+	src := topo.At(topo.NumNodes() / 2)
+	h.checkDelta(src, "arm cache")
+
+	// Two consecutive 70-seed rounds (> the 64-seed floor): the first
+	// overflow re-captures, the second engages the latch.
+	for id := 0; id < 70; id++ {
+		h.linkDown(id)
+	}
+	h.checkDelta(src, "overflow round 1")
+	if !h.sess.DeltaCacheValidForTest() {
+		t.Fatal("first overflow must re-capture, not drop the cache")
+	}
+	for id := 0; id < 70; id++ {
+		h.linkUp(id)
+	}
+	h.checkDelta(src, "overflow round 2")
+	if !h.sess.DeltaSuppressedForTest() {
+		t.Fatal("two consecutive seed overflows did not engage the latch")
+	}
+	if h.sess.DeltaCacheValidForTest() {
+		t.Fatal("latch engaged but the cache was kept")
+	}
+
+	// The four suppressed rounds: plain runs, no re-capture, still
+	// counted under the reason that tripped the latch.
+	for i := 0; i < 2; i++ {
+		h.linkDown(5)
+		h.checkDelta(src, "suppressed round")
+		h.linkUp(5)
+		h.checkDelta(src, "suppressed round")
+		if h.sess.DeltaCacheValidForTest() {
+			t.Fatalf("suppressed round %d re-captured", i)
+		}
+	}
+	if reasons := h.sess.DeltaFallbacksByReason(); reasons["seed_overflow"] < 6 {
+		t.Errorf("suppressed rounds not attributed to seed_overflow: %v", reasons)
+	}
+
+	// Window expired: the next stable round re-captures, the one after
+	// serves a delta again.
+	h.checkDelta(src, "re-capture after latch")
+	if !h.sess.DeltaCacheValidForTest() {
+		t.Fatal("cache not re-armed after the suppression window")
+	}
+	hitsBefore, _ := h.sess.DeltaStats()
+	h.checkDelta(src, "unchanged round after latch") // zero-seed shortcut
+	if hits, _ := h.sess.DeltaStats(); hits <= hitsBefore {
+		t.Errorf("delta path never re-engaged after the latch expired: %v", h.sess.DeltaFallbacksByReason())
+	}
+}
